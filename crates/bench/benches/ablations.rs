@@ -1,0 +1,159 @@
+//! Ablation benchmarks for the MG-LRU design choices DESIGN.md calls out:
+//! bloom-filter sizing, the eviction lookaround, generation count, and the
+//! bloom-insert threshold. Each point runs a small end-to-end execution so
+//! the measured quantity is the *whole-system* cost of the design choice,
+//! and prints the fault count alongside (criterion measures host time; the
+//! fault counts are the decision-quality signal).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pagesim::{Experiment, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim_policy::{MgLruConfig, ScanMode};
+use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+
+fn run_once(cfg: MgLruConfig, seed: u64) -> pagesim::RunMetrics {
+    let workload = TpchWorkload::new(TpchConfig::tiny());
+    let config = SystemConfig::new(PolicyChoice::MgLruCustom(cfg), SwapChoice::Zram)
+        .capacity_ratio(0.5)
+        .cores(4);
+    Experiment::new(config).run(&workload, seed)
+}
+
+fn bench_bloom_shift(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bloom_shift");
+    g.sample_size(10);
+    for shift in [10u32, 12, 15] {
+        let cfg = MgLruConfig {
+            bloom_shift: shift,
+            ..MgLruConfig::kernel_default()
+        };
+        let m = run_once(cfg, 1);
+        println!(
+            "# bloom_shift={shift}: majors={} regions walked={} skipped={}",
+            m.major_faults, m.policy.regions_walked, m.policy.regions_skipped
+        );
+        let mut seed = 0u64;
+        g.bench_function(format!("shift_{shift}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(cfg, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spatial_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_eviction_lookaround");
+    g.sample_size(10);
+    for (name, spatial) in [("on", true), ("off", false)] {
+        let cfg = MgLruConfig {
+            spatial_scan: spatial,
+            ..MgLruConfig::scan_none() // lookaround is the only scan source here
+        };
+        let m = run_once(cfg, 1);
+        println!(
+            "# lookaround={name}: majors={} rmap walks={} pte scans={}",
+            m.major_faults, m.policy.rmap_walks, m.policy.pte_scans
+        );
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(cfg, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_generation_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_generations");
+    g.sample_size(10);
+    for gens in [4u32, 64, 1 << 14] {
+        let cfg = MgLruConfig {
+            max_gens: gens,
+            ..MgLruConfig::kernel_default()
+        };
+        let m = run_once(cfg, 1);
+        println!(
+            "# max_gens={gens}: majors={} aging passes={}",
+            m.major_faults, m.policy.aging_passes
+        );
+        let mut seed = 0u64;
+        g.bench_function(format!("gens_{gens}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(cfg, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bloom_threshold");
+    g.sample_size(10);
+    // The kernel's rule is >= 1 accessed PTE per cache line (1.0); sweep
+    // looser and stricter admission.
+    for (name, thr) in [("quarter", 0.25), ("kernel", 1.0), ("strict", 4.0)] {
+        let cfg = MgLruConfig {
+            insert_threshold_per_line: thr,
+            ..MgLruConfig::kernel_default()
+        };
+        let m = run_once(cfg, 1);
+        println!(
+            "# threshold={thr}: majors={} regions walked={} skipped={}",
+            m.major_faults, m.policy.regions_walked, m.policy.regions_skipped
+        );
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(cfg, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_mode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scan_mode");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("bloom", ScanMode::Bloom),
+        ("all", ScanMode::All),
+        ("none", ScanMode::None),
+        ("rand50", ScanMode::Rand(0.5)),
+    ] {
+        let cfg = MgLruConfig {
+            scan_mode: mode,
+            ..MgLruConfig::kernel_default()
+        };
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(cfg, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = ablations;
+    config = configured();
+    targets = bench_bloom_shift, bench_spatial_scan, bench_generation_count,
+              bench_insert_threshold, bench_scan_mode
+}
+criterion_main!(ablations);

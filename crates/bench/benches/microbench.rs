@@ -1,0 +1,217 @@
+//! Criterion micro-benchmarks of the simulator's core data structures and
+//! hot paths: the per-operation costs that determine how fast the figure
+//! sweeps run, plus the policy primitives whose *modeled* costs the study
+//! is about.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use pagesim::{Experiment, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim_engine::{EventQueue, SimTime};
+use pagesim_mem::{AsId, EntropyClass};
+use pagesim_policy::memview::tests_support::FakeMem;
+use pagesim_policy::{BloomFilter, ClockLru, CostModel, Links, MgLru, MgLruConfig, PageList, Policy};
+use pagesim_stats::LatencyHistogram;
+use pagesim_swap::{compress, page_for_class};
+use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+use pagesim_workloads::zipf::ScrambledZipfian;
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    let mut filter = BloomFilter::new(15);
+    for r in 0..512u32 {
+        filter.insert(AsId(0), r);
+    }
+    g.bench_function("insert", |b| {
+        let mut f = BloomFilter::new(15);
+        let mut r = 0u32;
+        b.iter(|| {
+            f.insert(AsId(0), black_box(r));
+            r = r.wrapping_add(1);
+        });
+    });
+    g.bench_function("contains_hit", |b| {
+        let mut r = 0u32;
+        b.iter(|| {
+            r = (r + 1) % 512;
+            black_box(filter.contains(AsId(0), black_box(r)))
+        });
+    });
+    g.bench_function("contains_miss", |b| {
+        let mut r = 100_000u32;
+        b.iter(|| {
+            r += 1;
+            black_box(filter.contains(AsId(0), black_box(r)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_page_list(c: &mut Criterion) {
+    c.bench_function("page_list/push_pop_cycle", |b| {
+        let mut nodes = vec![Links::default(); 4096];
+        let mut list = PageList::new();
+        for k in 0..4096u32 {
+            list.push_front(&mut nodes, k);
+        }
+        b.iter(|| {
+            let k = list.pop_back(&mut nodes).unwrap();
+            list.push_front(&mut nodes, black_box(k));
+        });
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    c.bench_function("zipf/scrambled_draw", |b| {
+        let mut z = ScrambledZipfian::new(1_000_000, 7);
+        b.iter(|| black_box(z.next_item()));
+    });
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rle");
+    for class in [EntropyClass::Text, EntropyClass::Random] {
+        let page = page_for_class(class, 3);
+        g.bench_function(format!("compress_{class:?}"), |b| {
+            b.iter(|| black_box(compress(black_box(&page))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("record", |b| {
+        let mut h = LatencyHistogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 32));
+        });
+    });
+    g.bench_function("p9999", |b| {
+        let mut h = LatencyHistogram::new();
+        let mut v = 1u64;
+        for _ in 0..100_000 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 32);
+        }
+        b.iter(|| black_box(h.value_at_percentile(99.99)));
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..1024u64 {
+            q.push(SimTime::from_ns(i * 7 % 911), i);
+        }
+        let mut t = 1024u64;
+        b.iter(|| {
+            let (at, _) = q.pop().unwrap();
+            t += 1;
+            q.push(at + 13, black_box(t));
+        });
+    });
+}
+
+/// The two policies' reclaim paths on a half-hot page pool.
+fn bench_reclaim(c: &mut Criterion) {
+    let pages = 8192u32;
+    let mut g = c.benchmark_group("reclaim");
+    g.bench_function("clock_batch32", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = FakeMem::new(pages);
+                let mut p = ClockLru::new(pages, CostModel::default());
+                for k in 0..pages {
+                    mem.set_resident(k, true);
+                    p.on_page_resident(k, false, &mut mem);
+                    if k % 2 == 0 {
+                        mem.set_accessed(k, true);
+                    }
+                }
+                (p, mem)
+            },
+            |(mut p, mut mem)| black_box(p.reclaim(32, &mut mem)),
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("mglru_batch32", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = FakeMem::new(pages);
+                let mut p = MgLru::new(pages, MgLruConfig::kernel_default(), CostModel::default());
+                for k in 0..pages {
+                    mem.set_resident(k, true);
+                    p.on_page_resident(k, false, &mut mem);
+                    if k % 2 == 0 {
+                        mem.set_accessed(k, true);
+                    }
+                }
+                p.age_once(&mut mem);
+                (p, mem)
+            },
+            |(mut p, mut mem)| black_box(p.reclaim(32, &mut mem)),
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("mglru_aging_pass", |b| {
+        b.iter_batched(
+            || {
+                let mut mem = FakeMem::new(pages);
+                let mut p = MgLru::new(pages, MgLruConfig::scan_all(), CostModel::default());
+                for k in 0..pages {
+                    mem.set_resident(k, true);
+                    p.on_page_resident(k, false, &mut mem);
+                    mem.set_accessed(k, true);
+                }
+                (p, mem)
+            },
+            |(mut p, mut mem)| black_box(p.age_once(&mut mem)),
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+/// End-to-end: one tiny workload execution (the unit of every figure).
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let workload = TpchWorkload::new(TpchConfig::tiny());
+    for (name, policy) in [
+        ("tpch_tiny_clock_zram", PolicyChoice::Clock),
+        ("tpch_tiny_mglru_zram", PolicyChoice::MgLruDefault),
+    ] {
+        let config = SystemConfig::new(policy, SwapChoice::Zram)
+            .capacity_ratio(0.5)
+            .cores(4);
+        let exp = Experiment::new(config);
+        let mut seed = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                black_box(exp.run(&workload, seed))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_bloom, bench_page_list, bench_zipf, bench_compress,
+              bench_histogram, bench_event_queue, bench_reclaim, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! `repro` — regenerates every figure of the paper.
+//!
+//! ```text
+//! repro [--scale smoke|default|paper] [--seed N] [fig1 fig2 ... | all]
+//! ```
+//!
+//! Each subcommand prints the same normalized series the corresponding
+//! figure of the paper plots. Cells shared between figures run once.
+
+use pagesim::experiments::{self, Bench, Scale, Wl};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale smoke|default|paper] [--seed N] [fig1..fig12 | all]\n\
+         \n\
+         fig1   mean runtime & faults, MG-LRU vs Clock (SSD, 50%)\n\
+         fig2   joint runtime/fault distributions, Clock vs MG-LRU\n\
+         fig3   YCSB tail latencies (SSD, 50%)\n\
+         fig4   MG-LRU variant means (SSD, 50%)\n\
+         fig5   joint distributions across MG-LRU variants\n\
+         fig6   means at 75%/90% capacity ratios\n\
+         fig7   fault box-whiskers at 75%/90%\n\
+         fig8   YCSB tails at 75%/90%\n\
+         fig9   ZRAM mean performance\n\
+         fig10  ZRAM mean faults\n\
+         fig11  ZRAM vs SSD runtime/fault deltas\n\
+         fig12  YCSB tails under ZRAM"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut scale = Scale::default_scale();
+    let mut figs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale = match v.as_str() {
+                    "smoke" => Scale::smoke(),
+                    "default" => Scale::default_scale(),
+                    "paper" => Scale::paper(),
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--trials" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                scale.trials = v.parse().unwrap_or_else(|_| usage());
+            }
+            "-h" | "--help" => usage(),
+            other => figs.push(other.to_owned()),
+        }
+    }
+    if figs.is_empty() || figs.iter().any(|f| f == "all") {
+        figs = (1..=12).map(|i| format!("fig{i}")).collect();
+    }
+
+    let bench = Bench::new(scale);
+    println!(
+        "# pagesim repro — trials/cell: {}, footprint factor: {:.2}, seed: {}",
+        scale.trials, scale.footprint, scale.seed
+    );
+    for wl in Wl::all() {
+        println!("#   {} footprint: {} pages", wl.label(), bench.footprint(wl));
+    }
+    println!();
+
+    for fig in &figs {
+        let t0 = std::time::Instant::now();
+        let body = match fig.as_str() {
+            "fig1" => experiments::fig1(&bench).to_string(),
+            "fig2" => experiments::fig2(&bench).to_string(),
+            "fig3" => experiments::fig3(&bench).to_string(),
+            "fig4" => experiments::fig4(&bench).to_string(),
+            "fig5" => experiments::fig5(&bench).to_string(),
+            "fig6" => experiments::fig6(&bench).to_string(),
+            "fig7" => experiments::fig7(&bench).to_string(),
+            "fig8" => experiments::fig8(&bench).to_string(),
+            "fig9" => experiments::fig9(&bench).to_string(),
+            "fig10" => experiments::fig10(&bench).to_string(),
+            "fig11" => experiments::fig11(&bench).to_string(),
+            "fig12" => experiments::fig12(&bench).to_string(),
+            _ => usage(),
+        };
+        println!("{body}");
+        println!("# ({fig} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,31 @@
+//! # pagesim-bench
+//!
+//! Benchmark harness for the pagesim reproduction:
+//!
+//! * the `repro` binary regenerates every figure of the paper
+//!   (`cargo run --release -p pagesim-bench --bin repro -- --help`);
+//!   scales are defined by [`pagesim::experiments::Scale`];
+//! * `benches/microbench.rs` holds criterion micro-benchmarks of the core
+//!   data structures (bloom filter, page lists, zipfian, compressor,
+//!   reclaim paths, end-to-end runs);
+//! * `benches/ablations.rs` sweeps the MG-LRU design choices DESIGN.md
+//!   calls out (bloom sizing/threshold, eviction lookaround, generation
+//!   count, scan modes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pagesim::experiments::Scale;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::smoke().trials < Scale::default_scale().trials);
+        assert!(Scale::default_scale().trials < Scale::paper().trials);
+        assert!(Scale::smoke().footprint < Scale::paper().footprint);
+        assert_eq!(Scale::paper().trials, 25, "the paper runs 25 per cell");
+    }
+}

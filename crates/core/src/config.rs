@@ -1,0 +1,247 @@
+//! System configuration: the experimental axes of the paper.
+
+use pagesim_engine::{Nanos, MILLISECOND, SECOND};
+use pagesim_policy::{CostModel, MgLruConfig};
+
+/// Which replacement policy manages memory — the paper's five contenders.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PolicyChoice {
+    /// Classic Clock (active/inactive lists).
+    Clock,
+    /// MG-LRU with kernel-default parameters.
+    MgLruDefault,
+    /// MG-LRU with 2^14 generations (*Gen-14*).
+    MgLruGen14,
+    /// MG-LRU scanning the whole page table each aging pass (*Scan-All*).
+    MgLruScanAll,
+    /// MG-LRU with the aging walk disabled (*Scan-None*).
+    MgLruScanNone,
+    /// MG-LRU scanning each region with p = 0.5 (*Scan-Rand*).
+    MgLruScanRand,
+    /// MG-LRU with an explicit configuration (ablations).
+    MgLruCustom(MgLruConfig),
+}
+
+impl PolicyChoice {
+    /// The five configurations the paper sweeps, in its plotting order.
+    pub fn paper_set() -> [PolicyChoice; 6] {
+        [
+            PolicyChoice::Clock,
+            PolicyChoice::MgLruDefault,
+            PolicyChoice::MgLruGen14,
+            PolicyChoice::MgLruScanAll,
+            PolicyChoice::MgLruScanNone,
+            PolicyChoice::MgLruScanRand,
+        ]
+    }
+
+    /// MG-LRU variants only (Fig. 4/5 sweep alternate configurations).
+    pub fn mglru_variants() -> [PolicyChoice; 5] {
+        [
+            PolicyChoice::MgLruDefault,
+            PolicyChoice::MgLruGen14,
+            PolicyChoice::MgLruScanAll,
+            PolicyChoice::MgLruScanNone,
+            PolicyChoice::MgLruScanRand,
+        ]
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyChoice::Clock => "clock",
+            PolicyChoice::MgLruDefault => "mglru",
+            PolicyChoice::MgLruGen14 => "gen-14",
+            PolicyChoice::MgLruScanAll => "scan-all",
+            PolicyChoice::MgLruScanNone => "scan-none",
+            PolicyChoice::MgLruScanRand => "scan-rand",
+            PolicyChoice::MgLruCustom(_) => "mglru-custom",
+        }
+    }
+}
+
+/// Which swap medium backs evictions (§IV / §V-D).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SwapChoice {
+    /// SSD block device, ~7.5 ms loaded 4 KiB ops (paper measurement).
+    Ssd,
+    /// Compressed RAM, 20 µs read / 35 µs write of CPU time.
+    Zram,
+}
+
+impl SwapChoice {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwapChoice::Ssd => "ssd",
+            SwapChoice::Zram => "zram",
+        }
+    }
+}
+
+/// Application-side cost parameters (the workload/fault path, as opposed
+/// to the policy scan costs in [`CostModel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppCosts {
+    /// Charged per resident MMU touch on top of the op's own compute.
+    pub mem_access_ns: Nanos,
+    /// Zero-fill (first touch) fault service.
+    pub minor_fault_ns: Nanos,
+    /// Software portion of a major fault (trap, lookup, swap bookkeeping).
+    pub major_fault_ns: Nanos,
+    /// Page-cache lookup for a resident fd access.
+    pub fd_hit_ns: Nanos,
+    /// Barrier arrival bookkeeping.
+    pub barrier_ns: Nanos,
+}
+
+impl Default for AppCosts {
+    fn default() -> Self {
+        AppCosts {
+            mem_access_ns: 20,
+            minor_fault_ns: 1_500,
+            major_fault_ns: 2_500,
+            fd_hit_ns: 250,
+            barrier_ns: 200,
+        }
+    }
+}
+
+/// Full system configuration for one experiment cell.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Replacement policy.
+    pub policy: PolicyChoice,
+    /// Swap medium.
+    pub swap: SwapChoice,
+    /// Memory capacity as a fraction of the workload footprint
+    /// (the paper tests 0.5, 0.75, 0.9).
+    pub capacity_ratio: f64,
+    /// Simulated hardware threads (the paper's i7-8700: 12).
+    pub cores: usize,
+    /// Scheduler time slice.
+    pub quantum: Nanos,
+    /// Policy scan-cost model.
+    pub costs: CostModel,
+    /// Application/fault-path costs.
+    pub app_costs: AppCosts,
+    /// Pages kswapd reclaims per batch.
+    pub kswapd_batch: u32,
+    /// Pages direct reclaim frees per invocation.
+    pub direct_batch: u32,
+    /// SSD internal parallelism (flash channels).
+    pub ssd_parallelism: usize,
+    /// Cap on simulated time; a run exceeding it panics (guards against
+    /// misconfigured thrashing loops).
+    pub max_sim_time: Nanos,
+    /// Background reclaim pauses while the swap device's write backlog
+    /// exceeds this (Linux's writeback throttling); keeps swap-out storms
+    /// from starving demand reads indefinitely.
+    pub writeback_throttle_ns: Nanos,
+    /// Page-compression factor: each simulated page stands for this many
+    /// real pages, scaling page-table-scan costs accordingly (see
+    /// [`CostModel::with_page_compression`]). Calibrated so the
+    /// scan-overhead-to-fault-cost balance matches the paper's 12–16 GB
+    /// footprints at our scaled-down page counts.
+    pub page_compression: u64,
+}
+
+impl SystemConfig {
+    /// A configuration with paper-calibrated defaults.
+    pub fn new(policy: PolicyChoice, swap: SwapChoice) -> Self {
+        SystemConfig {
+            policy,
+            swap,
+            capacity_ratio: 0.5,
+            cores: 12,
+            quantum: MILLISECOND,
+            costs: CostModel::default(),
+            app_costs: AppCosts::default(),
+            kswapd_batch: 32,
+            direct_batch: 8,
+            ssd_parallelism: 2,
+            max_sim_time: 6 * 3600 * SECOND, // 6 simulated hours
+            writeback_throttle_ns: 120 * MILLISECOND,
+            page_compression: 200,
+        }
+    }
+
+    /// The scan-cost model with page compression applied.
+    pub fn scaled_costs(&self) -> CostModel {
+        self.costs.with_page_compression(self.page_compression)
+    }
+
+    /// Sets the capacity-to-footprint ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio <= 1`.
+    pub fn capacity_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        self.capacity_ratio = ratio;
+        self
+    }
+
+    /// Sets the core count.
+    pub fn cores(mut self, cores: usize) -> Self {
+        assert!(cores > 0);
+        self.cores = cores;
+        self
+    }
+
+    /// Physical frames for a workload of `footprint` pages: the capacity
+    /// ratio plus kernel slack so watermarks don't eat into the ratio.
+    pub fn frames_for(&self, footprint: u32) -> usize {
+        let frames = (footprint as f64 * self.capacity_ratio) as usize;
+        frames.max(64)
+    }
+
+    /// Human-readable cell id, e.g. `tpch/mglru/ssd/50%`.
+    pub fn cell_label(&self, workload: &str) -> String {
+        format!(
+            "{workload}/{}/{}/{:.0}%",
+            self.policy.label(),
+            self.swap.label(),
+            self.capacity_ratio * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_follow_ratio() {
+        let c = SystemConfig::new(PolicyChoice::Clock, SwapChoice::Ssd).capacity_ratio(0.5);
+        assert_eq!(c.frames_for(10_000), 5_000);
+        let c = c.capacity_ratio(0.9);
+        assert_eq!(c.frames_for(10_000), 9_000);
+    }
+
+    #[test]
+    fn tiny_footprints_get_a_floor() {
+        let c = SystemConfig::new(PolicyChoice::Clock, SwapChoice::Ssd).capacity_ratio(0.1);
+        assert_eq!(c.frames_for(100), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn ratio_validation() {
+        SystemConfig::new(PolicyChoice::Clock, SwapChoice::Ssd).capacity_ratio(0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PolicyChoice::MgLruScanNone.label(), "scan-none");
+        assert_eq!(SwapChoice::Zram.label(), "zram");
+        let c = SystemConfig::new(PolicyChoice::MgLruDefault, SwapChoice::Ssd);
+        assert_eq!(c.cell_label("tpch"), "tpch/mglru/ssd/50%");
+    }
+
+    #[test]
+    fn paper_set_has_six_policies() {
+        assert_eq!(PolicyChoice::paper_set().len(), 6);
+        assert_eq!(PolicyChoice::mglru_variants().len(), 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-figure experiment drivers.
+//!
+//! Each `figN` function regenerates the corresponding figure of the paper:
+//! it runs (or reuses) the experiment cells the figure needs, computes the
+//! same normalized series the paper plots, and renders a plain-text table.
+//! The structured results are public so integration tests can assert on
+//! the reproduced *shapes* (who wins, spreads, correlations).
+//!
+//! Figures share experiment cells (Fig. 1 and Fig. 2 plot the same runs);
+//! [`Bench`] caches each `(workload, policy, swap, ratio)` cell so a full
+//! `fig1..fig12` sweep runs every cell exactly once.
+
+mod figures;
+
+pub use figures::*;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pagesim_workloads::buffered::{BufferedIoConfig, BufferedIoWorkload};
+use pagesim_workloads::pagerank::{PageRankConfig, PageRankWorkload};
+use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
+use pagesim_workloads::Workload;
+
+use crate::config::{PolicyChoice, SwapChoice, SystemConfig};
+use crate::metrics::{Experiment, TrialSet};
+
+/// Sweep scale: trials per cell and workload footprint factor.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Trials per experiment cell (the paper runs 25).
+    pub trials: u32,
+    /// Footprint multiplier on the workload defaults.
+    pub footprint: f64,
+    /// Master seed; trial seeds derive from it.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Fast smoke scale for tests and CI.
+    pub fn smoke() -> Scale {
+        Scale {
+            trials: 3,
+            footprint: 0.25,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Default laptop scale.
+    pub fn default_scale() -> Scale {
+        Scale {
+            trials: 10,
+            footprint: 0.5,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Paper scale: 25 trials, full footprints.
+    pub fn paper() -> Scale {
+        Scale {
+            trials: 25,
+            footprint: 1.0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The five workloads of the paper's methodology (§IV).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Wl {
+    /// Spark-SQL TPC-H analog.
+    Tpch,
+    /// GAP PageRank analog.
+    PageRank,
+    /// YCSB-A on the KV store (50/50 read/update).
+    YcsbA,
+    /// YCSB-B (95/5).
+    YcsbB,
+    /// YCSB-C (100/0).
+    YcsbC,
+}
+
+impl Wl {
+    /// All five, in the paper's plotting order.
+    pub fn all() -> [Wl; 5] {
+        [Wl::Tpch, Wl::PageRank, Wl::YcsbA, Wl::YcsbB, Wl::YcsbC]
+    }
+
+    /// Whether this is a YCSB (latency-oriented) workload.
+    pub fn is_ycsb(self) -> bool {
+        matches!(self, Wl::YcsbA | Wl::YcsbB | Wl::YcsbC)
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Wl::Tpch => "tpch",
+            Wl::PageRank => "pagerank",
+            Wl::YcsbA => "ycsb-a",
+            Wl::YcsbB => "ycsb-b",
+            Wl::YcsbC => "ycsb-c",
+        }
+    }
+}
+
+type CellKey = (Wl, &'static str, SwapChoice, u32);
+
+/// Workload instances plus a cache of completed experiment cells.
+pub struct Bench {
+    scale: Scale,
+    tpch: TpchWorkload,
+    pagerank: PageRankWorkload,
+    ycsb_a: YcsbWorkload,
+    ycsb_b: YcsbWorkload,
+    ycsb_c: YcsbWorkload,
+    buffered: BufferedIoWorkload,
+    cache: parking_lot::Mutex<HashMap<CellKey, Arc<TrialSet>>>,
+}
+
+impl Bench {
+    /// Builds all workloads at the given scale.
+    pub fn new(scale: Scale) -> Bench {
+        let f = scale.footprint;
+        let ycsb = |mix| {
+            let mut cfg = YcsbConfig::with_mix(mix);
+            cfg.items = ((cfg.items as f64 * f) as u32).max(1_000);
+            cfg.requests = ((cfg.requests as f64 * f) as u64).max(10_000);
+            YcsbWorkload::new(cfg, 0xD00D)
+        };
+        Bench {
+            scale,
+            tpch: TpchWorkload::new(TpchConfig::default().scaled(f)),
+            pagerank: PageRankWorkload::new(PageRankConfig::default().scaled(f), 0xD00D),
+            ycsb_a: ycsb(YcsbMix::A),
+            ycsb_b: ycsb(YcsbMix::B),
+            ycsb_c: ycsb(YcsbMix::C),
+            buffered: BufferedIoWorkload::new(BufferedIoConfig::default()),
+            cache: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The sweep scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The buffered-I/O workload (tier/PID ablations).
+    pub fn buffered(&self) -> &BufferedIoWorkload {
+        &self.buffered
+    }
+
+    /// Footprint of a workload in pages.
+    pub fn footprint(&self, wl: Wl) -> u32 {
+        match wl {
+            Wl::Tpch => self.tpch.footprint_pages(),
+            Wl::PageRank => self.pagerank.footprint_pages(),
+            Wl::YcsbA => self.ycsb_a.footprint_pages(),
+            Wl::YcsbB => self.ycsb_b.footprint_pages(),
+            Wl::YcsbC => self.ycsb_c.footprint_pages(),
+        }
+    }
+
+    /// Runs (or fetches from cache) one experiment cell.
+    pub fn cell(
+        &self,
+        wl: Wl,
+        policy: PolicyChoice,
+        swap: SwapChoice,
+        ratio: f64,
+    ) -> Arc<TrialSet> {
+        let key: CellKey = (wl, policy.label(), swap, (ratio * 100.0) as u32);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        let config = SystemConfig::new(policy, swap).capacity_ratio(ratio);
+        let exp = Experiment::new(config);
+        let seed = self.scale.seed;
+        let trials = self.scale.trials;
+        let set = match wl {
+            Wl::Tpch => exp.run_trials(&self.tpch, seed, trials),
+            Wl::PageRank => exp.run_trials(&self.pagerank, seed, trials),
+            Wl::YcsbA => exp.run_trials(&self.ycsb_a, seed, trials),
+            Wl::YcsbB => exp.run_trials(&self.ycsb_b, seed, trials),
+            Wl::YcsbC => exp.run_trials(&self.ycsb_c, seed, trials),
+        };
+        let set = Arc::new(set);
+        self.cache.lock().insert(key, Arc::clone(&set));
+        set
+    }
+
+    /// The paper's primary performance metric for a cell: mean runtime for
+    /// batch workloads, mean request latency for YCSB (Fig. 1 note).
+    pub fn mean_perf(&self, wl: Wl, set: &TrialSet) -> f64 {
+        if wl.is_ycsb() {
+            pagesim_stats::Summary::of(&set.mean_request_latencies()).mean
+        } else {
+            set.runtime_summary().mean
+        }
+    }
+}

@@ -1,0 +1,917 @@
+//! The simulated kernel: MMU touch path, demand faults, swap I/O,
+//! background reclaim (kswapd analog), and the MG-LRU aging thread, all
+//! scheduled over a fixed number of cores.
+//!
+//! ## Execution model
+//!
+//! The kernel is a discrete-event simulation. When a thread is dispatched
+//! onto a core it runs a *slice*: ops are consumed from its access stream
+//! until the time-slice budget is spent, the thread blocks (fault I/O,
+//! barrier, frame starvation), or it finishes. Slice effects are applied
+//! at dispatch using the slice's *virtual* timestamps (`now + used`);
+//! cross-thread interleaving is therefore accurate to within one quantum,
+//! which is far below every latency of interest (SSD ops are 7.5 ms).
+//!
+//! ## Fault path fidelity
+//!
+//! * First touches are minor faults: zero-fill, mapped dirty (the page
+//!   inherits the contents the application wrote while loading its data).
+//! * Swap-ins are major faults: software overhead plus device read. ZRAM
+//!   reads are CPU work on the faulting thread (decompression); SSD reads
+//!   queue on the device and block the thread.
+//! * A clean resident page keeps its swap-slot *backing* (swap-cache
+//!   analog) and can be evicted again without a write; dirtying the page
+//!   invalidates the backing.
+//! * Evicting a dirty page pins its frame until the write-back completes —
+//!   under thrashing, demand faults end up waiting for swap-out, the tail
+//!   mechanism of §VI-A.
+//! * File-backed pages are read from (and written back to) the device on
+//!   demand; clean file pages are simply dropped. The backing file lives
+//!   on the same simulated device as swap (documented substitution).
+
+use std::collections::HashMap;
+
+use pagesim_engine::{
+    BarrierSet, DispatchDecision, EventQueue, Nanos, Scheduler, SimTime, ThreadClass, ThreadId,
+    MICROSECOND, MILLISECOND,
+};
+use pagesim_mem::{AddressSpace, AsId, FrameId, PageArena, PageKey, PhysMem, Vpn, Watermarks};
+use pagesim_policy::{ClockLru, MgLru, MgLruConfig, Policy};
+use pagesim_swap::{SsdDevice, SwapDevice, SwapSlot, ZramDevice};
+use pagesim_workloads::{AccessStream, Op, ReqClass, Workload};
+
+use crate::config::{PolicyChoice, SwapChoice, SystemConfig};
+use crate::mem_state::MemState;
+use crate::metrics::RunMetrics;
+
+#[derive(Debug)]
+enum Event {
+    SliceEnd {
+        core: usize,
+        tid: ThreadId,
+        used: Nanos,
+        decision: DispatchDecision,
+    },
+    IoDone {
+        tid: ThreadId,
+        key: PageKey,
+        frame: FrameId,
+        slot: Option<SwapSlot>,
+        write: bool,
+        fd: bool,
+    },
+    FrameFree {
+        frame: FrameId,
+    },
+    Wake {
+        tid: ThreadId,
+    },
+    KswapdRetry,
+}
+
+enum ThreadBody {
+    App {
+        stream: Box<dyn AccessStream>,
+        pending: Option<Op>,
+        request: Option<(ReqClass, SimTime, bool)>,
+    },
+    Kswapd,
+    Aging,
+}
+
+enum SliceOutcome {
+    Preempted,
+    Blocked,
+    Finished,
+}
+
+impl From<&SliceOutcome> for DispatchDecision {
+    fn from(o: &SliceOutcome) -> DispatchDecision {
+        match o {
+            SliceOutcome::Preempted => DispatchDecision::Preempted,
+            SliceOutcome::Blocked => DispatchDecision::Blocked,
+            SliceOutcome::Finished => DispatchDecision::Finished,
+        }
+    }
+}
+
+/// The simulated system. One [`run`](Kernel::run) = one workload execution.
+pub struct Kernel {
+    cfg: SystemConfig,
+    now: SimTime,
+    events: EventQueue<Event>,
+    sched: Scheduler,
+    barriers: BarrierSet,
+    mem: MemState,
+    swap: Box<dyn SwapDevice>,
+    policy: Box<dyn Policy>,
+    bodies: Vec<ThreadBody>,
+    app_live: usize,
+    finish_time: SimTime,
+    kswapd: ThreadId,
+    kswapd_asleep: bool,
+    kswapd_retry_pending: bool,
+    aging: ThreadId,
+    aging_asleep: bool,
+    /// Write-back completion time per in-flight slot (reads must wait).
+    slot_ready: HashMap<SwapSlot, SimTime>,
+    /// Faults already in flight per page (page-lock analog): later
+    /// faulters on the same page wait for the first I/O instead of
+    /// issuing their own.
+    inflight: HashMap<PageKey, Vec<ThreadId>>,
+    metrics: RunMetrics,
+}
+
+impl Kernel {
+    /// Builds a system for `workload` under `config`, seeded for one trial.
+    pub fn build(config: &SystemConfig, workload: &dyn Workload, seed: u64) -> Kernel {
+        let specs = workload.spaces();
+        let mut arena = PageArena::new();
+        let mut spaces = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let space = AddressSpace::new(AsId(i as u16), spec.pages, &mut arena);
+            let base = space.base_key();
+            for a in &spec.annotations {
+                if a.file_backed {
+                    arena.set_file_backed(base + a.start, a.count);
+                }
+                arena.set_entropy(base + a.start, a.count, a.entropy);
+            }
+            spaces.push(space);
+        }
+        let footprint: u32 = specs.iter().map(|s| s.pages).sum();
+        let frames = config.frames_for(footprint);
+        let phys = PhysMem::new(frames, Watermarks::for_capacity(frames));
+        let mem = MemState::new(spaces, arena, phys);
+
+        let total_pages = mem.arena.len() as u32;
+        let policy: Box<dyn Policy> = match config.policy {
+            PolicyChoice::Clock => Box::new(ClockLru::new(total_pages, config.scaled_costs())),
+            PolicyChoice::MgLruDefault => Box::new(MgLru::new(
+                total_pages,
+                MgLruConfig {
+                    seed,
+                    ..MgLruConfig::kernel_default()
+                },
+                config.scaled_costs(),
+            )),
+            PolicyChoice::MgLruGen14 => Box::new(MgLru::new(
+                total_pages,
+                MgLruConfig {
+                    seed,
+                    ..MgLruConfig::gen14()
+                },
+                config.scaled_costs(),
+            )),
+            PolicyChoice::MgLruScanAll => Box::new(MgLru::new(
+                total_pages,
+                MgLruConfig {
+                    seed,
+                    ..MgLruConfig::scan_all()
+                },
+                config.scaled_costs(),
+            )),
+            PolicyChoice::MgLruScanNone => Box::new(MgLru::new(
+                total_pages,
+                MgLruConfig {
+                    seed,
+                    ..MgLruConfig::scan_none()
+                },
+                config.scaled_costs(),
+            )),
+            PolicyChoice::MgLruScanRand => Box::new(MgLru::new(
+                total_pages,
+                MgLruConfig::scan_rand(seed),
+                config.scaled_costs(),
+            )),
+            PolicyChoice::MgLruCustom(mut c) => {
+                c.seed = seed;
+                Box::new(MgLru::new(total_pages, c, config.scaled_costs()))
+            }
+        };
+
+        let swap: Box<dyn SwapDevice> = match config.swap {
+            SwapChoice::Ssd => Box::new(SsdDevice::new(
+                7 * MILLISECOND + 500 * MICROSECOND,
+                7 * MILLISECOND + 500 * MICROSECOND,
+                config.ssd_parallelism,
+            )),
+            SwapChoice::Zram => Box::new(ZramDevice::with_paper_costs()),
+        };
+
+        let mut sched = Scheduler::new(config.cores, config.quantum);
+        let mut bodies = Vec::new();
+        let mut barriers = BarrierSet::new();
+        for parties in workload.barriers() {
+            barriers.create(parties);
+        }
+        let streams = workload.streams(seed);
+        let app_live = streams.len();
+        for stream in streams {
+            let tid = sched.spawn(ThreadClass::App);
+            debug_assert_eq!(tid.0 as usize, bodies.len());
+            bodies.push(ThreadBody::App {
+                stream,
+                pending: None,
+                request: None,
+            });
+            sched.make_runnable(tid);
+        }
+        let kswapd = sched.spawn(ThreadClass::Kernel);
+        bodies.push(ThreadBody::Kswapd);
+        let aging = sched.spawn(ThreadClass::Kernel);
+        bodies.push(ThreadBody::Aging);
+
+        let metrics = RunMetrics {
+            footprint_pages: footprint,
+            capacity_frames: frames as u32,
+            ..RunMetrics::default()
+        };
+
+        Kernel {
+            cfg: config.clone(),
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            sched,
+            barriers,
+            mem,
+            swap,
+            policy,
+            bodies,
+            app_live,
+            finish_time: SimTime::ZERO,
+            kswapd,
+            kswapd_asleep: true,
+            kswapd_retry_pending: false,
+            aging,
+            aging_asleep: true,
+            slot_ready: HashMap::new(),
+            inflight: HashMap::new(),
+            metrics,
+        }
+    }
+
+    /// Runs the workload to completion and returns the collected metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds `config.max_sim_time` (a guard
+    /// against misconfigured thrashing loops) or deadlocks.
+    pub fn run(mut self) -> RunMetrics {
+        loop {
+            while let Some((core, tid)) = self.sched.try_dispatch() {
+                let (used, outcome) = self.run_slice(tid);
+                let decision = DispatchDecision::from(&outcome);
+                self.events.push(
+                    self.now + used,
+                    Event::SliceEnd {
+                        core,
+                        tid,
+                        used,
+                        decision,
+                    },
+                );
+            }
+            let Some((t, ev)) = self.events.pop() else {
+                assert_eq!(self.app_live, 0, "deadlock: no events, app threads live");
+                break;
+            };
+            assert!(
+                t.as_ns() <= self.cfg.max_sim_time,
+                "simulation exceeded max_sim_time at {t} ({} faults, {} free frames)",
+                self.metrics.major_faults,
+                self.mem.phys.free_frames()
+            );
+            self.now = t;
+            self.handle_event(ev);
+            if self.app_live == 0 {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> RunMetrics {
+        self.metrics.runtime_ns = self.finish_time.as_ns();
+        self.metrics.policy = self.policy.stats();
+        self.metrics.swap_stats = self.swap.stats();
+        let s = self.sched.stats();
+        self.metrics.app_cpu_ns = s.app_cpu;
+        self.metrics.kernel_cpu_ns = s.kernel_cpu;
+        self.metrics.swap_used_bytes = self.swap.used_bytes();
+        self.metrics
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::SliceEnd {
+                core,
+                tid,
+                used,
+                decision,
+            } => {
+                self.sched.slice_done(core, tid, decision, used);
+                if decision == DispatchDecision::Finished
+                    && matches!(self.bodies[tid.0 as usize], ThreadBody::App { .. })
+                {
+                    self.app_live -= 1;
+                    self.finish_time = self.finish_time.max(self.now);
+                }
+            }
+            Event::IoDone {
+                tid,
+                key,
+                frame,
+                slot,
+                write,
+                fd,
+            } => {
+                self.complete_major_fault(tid, key, frame, slot, write, fd);
+                self.sched.make_runnable(tid);
+                // Release the page lock: threads that faulted on the same
+                // page retry their access and hit.
+                if let Some(waiters) = self.inflight.remove(&key) {
+                    for w in waiters {
+                        self.sched.make_runnable(w);
+                    }
+                }
+            }
+            Event::FrameFree { frame } => {
+                self.mem.phys.writeback_done(frame);
+            }
+            Event::Wake { tid } => {
+                self.sched.make_runnable(tid);
+            }
+            Event::KswapdRetry => {
+                self.kswapd_retry_pending = false;
+                if self.kswapd_asleep && self.mem.phys.below_low() {
+                    self.kswapd_asleep = false;
+                    self.sched.make_runnable(self.kswapd);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Slice execution
+    // ---------------------------------------------------------------
+
+    fn run_slice(&mut self, tid: ThreadId) -> (Nanos, SliceOutcome) {
+        match &self.bodies[tid.0 as usize] {
+            ThreadBody::App { .. } => self.run_app_slice(tid),
+            ThreadBody::Kswapd => self.run_kswapd_slice(),
+            ThreadBody::Aging => self.run_aging_slice(),
+        }
+    }
+
+    fn run_app_slice(&mut self, tid: ThreadId) -> (Nanos, SliceOutcome) {
+        let budget = self.sched.quantum();
+        let mut used: Nanos = 0;
+        loop {
+            // Pull the next op (a pending op was interrupted by preemption
+            // or frame starvation and must be retried).
+            let op = {
+                let ThreadBody::App { stream, pending, .. } = &mut self.bodies[tid.0 as usize]
+                else {
+                    unreachable!("app slice on kernel thread")
+                };
+                match pending.take() {
+                    Some(op) => op,
+                    None => stream.next_op(),
+                }
+            };
+            match op {
+                Op::Compute { cpu_ns } => {
+                    let room = budget.saturating_sub(used);
+                    if cpu_ns > room {
+                        used = budget;
+                        let ThreadBody::App { pending, .. } = &mut self.bodies[tid.0 as usize]
+                        else {
+                            unreachable!()
+                        };
+                        *pending = Some(Op::Compute { cpu_ns: cpu_ns - room });
+                        return (used, SliceOutcome::Preempted);
+                    }
+                    used += cpu_ns;
+                }
+                Op::Access {
+                    space,
+                    vpn,
+                    write,
+                    cpu_ns,
+                }
+                | Op::FdAccess {
+                    space,
+                    vpn,
+                    write,
+                    cpu_ns,
+                } => {
+                    if used + cpu_ns as u64 > budget {
+                        let ThreadBody::App { pending, .. } = &mut self.bodies[tid.0 as usize]
+                        else {
+                            unreachable!()
+                        };
+                        *pending = Some(op);
+                        return (budget, SliceOutcome::Preempted);
+                    }
+                    used += cpu_ns as u64;
+                    let fd = matches!(op, Op::FdAccess { .. });
+                    match self.touch(tid, space, vpn, write, fd, &mut used) {
+                        TouchResult::Hit => {}
+                        TouchResult::BlockedIo => return (used, SliceOutcome::Blocked),
+                        TouchResult::Starved => {
+                            // Retry the whole access once frames free up.
+                            let ThreadBody::App { pending, .. } =
+                                &mut self.bodies[tid.0 as usize]
+                            else {
+                                unreachable!()
+                            };
+                            *pending = Some(op);
+                            return (used, SliceOutcome::Blocked);
+                        }
+                    }
+                }
+                Op::Barrier { id } => {
+                    used += self.cfg.app_costs.barrier_ns;
+                    match self.barriers.arrive(id, tid) {
+                        Some(waiters) => {
+                            for w in waiters {
+                                self.sched.make_runnable(w);
+                            }
+                        }
+                        None => return (used, SliceOutcome::Blocked),
+                    }
+                }
+                Op::RequestStart { class, warmup } => {
+                    let at = self.now + used;
+                    let ThreadBody::App { request, .. } = &mut self.bodies[tid.0 as usize]
+                    else {
+                        unreachable!()
+                    };
+                    debug_assert!(request.is_none(), "nested request");
+                    *request = Some((class, at, warmup));
+                }
+                Op::RequestEnd => {
+                    let at = self.now + used;
+                    let ThreadBody::App { request, .. } = &mut self.bodies[tid.0 as usize]
+                    else {
+                        unreachable!()
+                    };
+                    let (class, start, warmup) =
+                        request.take().expect("RequestEnd without start");
+                    if !warmup {
+                        let latency = at.saturating_since(start).max(1);
+                        match class {
+                            ReqClass::Read => self.metrics.read_latency.record(latency),
+                            ReqClass::Write => self.metrics.write_latency.record(latency),
+                        }
+                    }
+                }
+                Op::Done => return (used, SliceOutcome::Finished),
+            }
+            if used >= budget {
+                return (used, SliceOutcome::Preempted);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // MMU touch and fault path
+    // ---------------------------------------------------------------
+
+    fn touch(
+        &mut self,
+        tid: ThreadId,
+        space: AsId,
+        vpn: Vpn,
+        write: bool,
+        fd: bool,
+        used: &mut Nanos,
+    ) -> TouchResult {
+        let pte = self.mem.space(space).pte(vpn);
+        if pte.present() {
+            let key = self.mem.space(space).key_of(vpn);
+            if fd {
+                *used += self.cfg.app_costs.fd_hit_ns;
+                if write && !pte.dirty() {
+                    self.dirty_transition(key);
+                    self.mem.space_mut(space).pte_mut(vpn).set_dirty();
+                }
+                self.policy.on_fd_access(key, &mut self.mem);
+            } else {
+                *used += self.cfg.app_costs.mem_access_ns;
+                if write && !pte.dirty() {
+                    self.dirty_transition(key);
+                }
+                self.mem.space_mut(space).mark_accessed(vpn, write);
+            }
+            self.metrics.accesses += 1;
+            return TouchResult::Hit;
+        }
+        self.fault(tid, space, vpn, write, fd, used)
+    }
+
+    /// Invalidate swap backing when a clean page gets dirtied.
+    fn dirty_transition(&mut self, key: PageKey) {
+        if let Some(slot) = self.mem.backing[key as usize].take() {
+            self.slot_ready.remove(&slot);
+            self.swap.release(slot);
+        }
+    }
+
+    fn fault(
+        &mut self,
+        tid: ThreadId,
+        space: AsId,
+        vpn: Vpn,
+        write: bool,
+        fd: bool,
+        used: &mut Nanos,
+    ) -> TouchResult {
+        let key = self.mem.space(space).key_of(vpn);
+        // 0. Page-lock analog: if another thread's fault on this page is
+        //    already in flight, wait for its I/O and retry the access.
+        if let Some(waiters) = self.inflight.get_mut(&key) {
+            waiters.push(tid);
+            self.metrics.shared_fault_waits += 1;
+            return TouchResult::Starved;
+        }
+        // 1. A frame must be available before any read can start.
+        let frame = match self.grab_frame(key, used) {
+            Some(f) => f,
+            None => {
+                self.metrics.alloc_stalls += 1;
+                // All frames pinned by in-flight write-back (or everything
+                // looked accessed): retry shortly.
+                self.events.push(
+                    self.now + *used + 300 * MICROSECOND,
+                    Event::Wake { tid },
+                );
+                return TouchResult::Starved;
+            }
+        };
+
+        let pte = self.mem.space(space).pte(vpn);
+        let info = self.mem.arena.info(key);
+        if pte.swapped() || info.file_backed {
+            // Major fault: content must come from the device (swap slot or
+            // backing file).
+            self.metrics.major_faults += 1;
+            *used += self.cfg.app_costs.major_fault_ns;
+            let slot = pte.swap_slot();
+            let vt = self.now + *used;
+            // Reads of slots still being written wait for durability.
+            let submit = match slot.and_then(|s| self.slot_ready.get(&s)) {
+                Some(&ready) => vt.max(ready),
+                None => vt,
+            };
+            let out = match slot {
+                Some(s) => self.swap.read(submit, s),
+                None => self.swap.file_read(submit), // demand read of a file page
+            };
+            *used += out.cpu_ns;
+            let sync_done = self.now + *used;
+            if out.done_at <= sync_done.max(submit + out.cpu_ns) && submit == vt {
+                // CPU-bound medium (ZRAM): the fault resolves inline.
+                self.complete_major_fault(tid, key, frame, slot, write, fd);
+                TouchResult::Hit
+            } else {
+                self.inflight.insert(key, Vec::new());
+                self.events.push(
+                    out.done_at,
+                    Event::IoDone {
+                        tid,
+                        key,
+                        frame,
+                        slot,
+                        write,
+                        fd,
+                    },
+                );
+                TouchResult::BlockedIo
+            }
+        } else {
+            // Minor fault: zero-fill. The page is mapped dirty — it
+            // represents data the application materialized.
+            self.metrics.minor_faults += 1;
+            *used += self.cfg.app_costs.minor_fault_ns;
+            self.mem.space_mut(space).map(vpn, frame);
+            self.mem.space_mut(space).mark_accessed(vpn, true);
+            self.policy.on_page_resident(key, false, &mut self.mem);
+            TouchResult::Hit
+        }
+    }
+
+    /// Finishes a swap-in/file read: maps the page and updates the policy.
+    fn complete_major_fault(
+        &mut self,
+        _tid: ThreadId,
+        key: PageKey,
+        frame: FrameId,
+        slot: Option<SwapSlot>,
+        write: bool,
+        fd: bool,
+    ) {
+        let (space, vpn) = self.mem.locate(key);
+        self.mem.space_mut(space).map(vpn, frame);
+        if let Some(slot) = slot {
+            self.slot_ready.remove(&slot);
+            if write {
+                // Dirtied immediately: the swap copy is stale.
+                self.swap.release(slot);
+                self.mem.backing[key as usize] = None;
+            } else {
+                // Keep the clean copy (swap-cache): a later clean eviction
+                // is free.
+                self.mem.backing[key as usize] = Some(slot);
+            }
+        }
+        if fd {
+            if write {
+                self.mem.space_mut(space).pte_mut(vpn).set_dirty();
+            }
+            let refault = self.mem.evicted_before[key as usize];
+            self.policy.on_page_resident(key, refault, &mut self.mem);
+            self.policy.on_fd_access(key, &mut self.mem);
+        } else {
+            self.mem.space_mut(space).mark_accessed(vpn, write);
+            let refault = self.mem.evicted_before[key as usize];
+            self.policy.on_page_resident(key, refault, &mut self.mem);
+        }
+        self.metrics.accesses += 1;
+    }
+
+    /// Allocates a frame, running direct reclaim on the calling thread if
+    /// needed. Returns `None` when progress requires waiting for
+    /// write-backs.
+    fn grab_frame(&mut self, key: PageKey, used: &mut Nanos) -> Option<FrameId> {
+        if let Some(f) = self.mem.phys.allocate(key) {
+            self.maybe_wake_kswapd();
+            return Some(f);
+        }
+        // Direct reclaim: the faulting thread pays for victim selection
+        // and swap-out CPU.
+        self.metrics.direct_reclaims += 1;
+        for _ in 0..2 {
+            let out = self.policy.reclaim(self.cfg.direct_batch, &mut self.mem);
+            *used += out.cpu_ns;
+            let vt = self.now + *used;
+            *used += self.apply_evictions(&out.victims, vt);
+            self.maybe_wake_aging();
+            if let Some(f) = self.mem.phys.allocate_from_reserve(key) {
+                self.maybe_wake_kswapd();
+                return Some(f);
+            }
+            if out.victims.is_empty() {
+                break;
+            }
+        }
+        self.maybe_wake_kswapd();
+        None
+    }
+
+    // ---------------------------------------------------------------
+    // Eviction and reclaim threads
+    // ---------------------------------------------------------------
+
+    /// Unmaps victims and performs swap-out. Returns CPU time charged to
+    /// the reclaiming thread (write submission, compression).
+    fn apply_evictions(&mut self, victims: &[PageKey], vt: SimTime) -> Nanos {
+        let mut cpu: Nanos = 0;
+        for &key in victims {
+            let (space, vpn) = self.mem.locate(key);
+            let pte = self.mem.space(space).pte(vpn);
+            let Some(frame) = pte.frame() else {
+                debug_assert!(false, "victim {key} not resident");
+                continue;
+            };
+            self.policy.on_page_evicted(key, &mut self.mem);
+            let info = self.mem.arena.info(key);
+            if info.file_backed {
+                if pte.dirty() {
+                    // Write back to the file, then drop.
+                    let out = self.swap.file_write(vt + cpu);
+                    cpu += out.cpu_ns;
+                    self.metrics.swap_outs += 1;
+                    self.pin_until(frame, vt + cpu, out.done_at);
+                } else {
+                    self.mem.phys.free(frame);
+                }
+                self.mem.space_mut(space).pte_mut(vpn).clear();
+            } else if let Some(slot) = self.mem.backing[key as usize].take() {
+                // Clean anon page with a valid swap copy: free drop.
+                debug_assert!(!pte.dirty(), "dirty page kept backing");
+                self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
+                self.mem.phys.free(frame);
+                self.metrics.clean_drops += 1;
+            } else {
+                // Dirty anon page: allocate a slot and write.
+                let slot = self.swap.allocate_slot();
+                let out = self.swap.write(vt + cpu, slot, info.entropy);
+                cpu += out.cpu_ns;
+                self.slot_ready.insert(slot, out.done_at);
+                self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
+                self.metrics.swap_outs += 1;
+                self.pin_until(frame, vt + cpu, out.done_at);
+            }
+            self.mem.evicted_before[key as usize] = true;
+            self.metrics.evictions += 1;
+        }
+        cpu
+    }
+
+    /// Frees the frame now (synchronous media) or pins it until `done_at`.
+    fn pin_until(&mut self, frame: FrameId, vt: SimTime, done_at: SimTime) {
+        if done_at <= vt {
+            self.mem.phys.free(frame);
+        } else {
+            self.mem.phys.begin_writeback(frame);
+            self.events.push(done_at, Event::FrameFree { frame });
+        }
+    }
+
+    fn maybe_wake_kswapd(&mut self) {
+        if self.kswapd_asleep && self.mem.phys.below_low() {
+            self.kswapd_asleep = false;
+            self.sched.make_runnable(self.kswapd);
+        }
+    }
+
+    fn maybe_wake_aging(&mut self) {
+        if self.aging_asleep && self.policy.wants_background(&self.mem) {
+            self.aging_asleep = false;
+            self.sched.make_runnable(self.aging);
+        }
+    }
+
+    fn run_kswapd_slice(&mut self) -> (Nanos, SliceOutcome) {
+        let budget = self.sched.quantum();
+        let mut used: Nanos = 0;
+        loop {
+            if self.mem.phys.above_high() {
+                self.kswapd_asleep = true;
+                return (used, SliceOutcome::Blocked);
+            }
+            // Write-back throttling: stop feeding the device while its
+            // queue is deep, or swap-out storms starve demand reads.
+            if self.swap.backlog(self.now + used) > self.cfg.writeback_throttle_ns {
+                self.metrics.writeback_throttles += 1;
+                self.kswapd_asleep = true;
+                if !self.kswapd_retry_pending {
+                    self.kswapd_retry_pending = true;
+                    self.events
+                        .push(self.now + used + 10 * MILLISECOND, Event::KswapdRetry);
+                }
+                return (used, SliceOutcome::Blocked);
+            }
+            let out = self.policy.reclaim(self.cfg.kswapd_batch, &mut self.mem);
+            used += out.cpu_ns;
+            let vt = self.now + used;
+            used += self.apply_evictions(&out.victims, vt);
+            self.metrics.kswapd_batches += 1;
+            self.maybe_wake_aging();
+            if out.victims.is_empty() {
+                // No progress possible right now (write-backs in flight or
+                // everything recently accessed): retry shortly.
+                self.kswapd_asleep = true;
+                if !self.kswapd_retry_pending {
+                    self.kswapd_retry_pending = true;
+                    self.events
+                        .push(self.now + used + 2 * MILLISECOND, Event::KswapdRetry);
+                }
+                return (used, SliceOutcome::Blocked);
+            }
+            if used >= budget {
+                return (used, SliceOutcome::Preempted);
+            }
+        }
+    }
+
+    fn run_aging_slice(&mut self) -> (Nanos, SliceOutcome) {
+        if !self.policy.wants_background(&self.mem) {
+            self.aging_asleep = true;
+            return (0, SliceOutcome::Blocked);
+        }
+        let bg = self
+            .policy
+            .background_work(self.sched.quantum(), &mut self.mem);
+        self.metrics.aging_runs += 1;
+        if self.policy.wants_background(&self.mem) {
+            (bg.cpu_ns, SliceOutcome::Preempted)
+        } else {
+            self.aging_asleep = true;
+            (bg.cpu_ns, SliceOutcome::Blocked)
+        }
+    }
+
+    /// Read-only access to live metrics (diagnostics/tests).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+}
+
+enum TouchResult {
+    Hit,
+    BlockedIo,
+    Starved,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+    use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
+
+    fn cfg(policy: PolicyChoice, swap: SwapChoice, ratio: f64) -> SystemConfig {
+        SystemConfig::new(policy, swap)
+            .capacity_ratio(ratio)
+            .cores(4)
+    }
+
+    #[test]
+    fn full_capacity_run_has_no_major_faults() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let m = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Zram, 1.0), &w, 1).run();
+        assert_eq!(m.major_faults, 0, "no pressure, no swap");
+        assert!(m.minor_faults > 0, "first touches still fault");
+        assert!(m.runtime_ns > 0);
+    }
+
+    #[test]
+    fn pressure_forces_swapping_clock() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let m = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5), &w, 1).run();
+        assert!(m.major_faults > 0);
+        assert!(m.swap_outs > 0);
+        assert!(m.evictions as i64 >= m.swap_outs as i64);
+    }
+
+    #[test]
+    fn pressure_forces_swapping_mglru() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let m = Kernel::build(
+            &cfg(PolicyChoice::MgLruDefault, SwapChoice::Zram, 0.5),
+            &w,
+            1,
+        )
+        .run();
+        assert!(m.major_faults > 0);
+        assert!(m.aging_runs > 0, "aging thread must run under pressure");
+        assert!(m.policy.aging_passes > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let c = cfg(PolicyChoice::MgLruDefault, SwapChoice::Zram, 0.5);
+        let a = Kernel::build(&c, &w, 7).run();
+        let b = Kernel::build(&c, &w, 7).run();
+        assert_eq!(a.runtime_ns, b.runtime_ns);
+        assert_eq!(a.major_faults, b.major_faults);
+        let c2 = Kernel::build(&c, &w, 8).run();
+        assert!(
+            a.runtime_ns != c2.runtime_ns || a.major_faults != c2.major_faults,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn ssd_faults_cost_more_time_than_zram() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let ssd = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Ssd, 0.5), &w, 3).run();
+        let zram = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5), &w, 3).run();
+        assert!(
+            ssd.runtime_ns > 2 * zram.runtime_ns,
+            "ssd {} vs zram {}",
+            ssd.runtime_ns,
+            zram.runtime_ns
+        );
+    }
+
+    #[test]
+    fn ycsb_records_latencies() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::A), 1);
+        let m = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5), &w, 2).run();
+        assert!(m.read_latency.count() > 1000);
+        assert!(m.write_latency.count() > 1000);
+        assert!(m.read_latency.value_at_percentile(99.0) >= m.read_latency.value_at_percentile(50.0));
+    }
+
+    #[test]
+    fn frames_never_exceed_capacity() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let k = Kernel::build(&cfg(PolicyChoice::MgLruDefault, SwapChoice::Zram, 0.5), &w, 1);
+        let cap = k.mem.phys.capacity();
+        let m = k.run();
+        assert!(m.footprint_pages as usize > cap, "pressure sanity");
+    }
+
+    #[test]
+    fn clean_drops_happen_for_reread_pages() {
+        // TPC-H re-reads table pages across stages; after the first
+        // swap-out cycle, re-faulted clean pages should drop for free.
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let m = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5), &w, 1).run();
+        assert!(m.clean_drops > 0, "swap-cache fast path never used");
+    }
+}

@@ -1,0 +1,237 @@
+//! Run metrics and the multi-trial experiment runner.
+
+use pagesim_engine::rng::trial_seed;
+use pagesim_engine::Nanos;
+use pagesim_policy::PolicyStats;
+use pagesim_stats::{LatencyHistogram, Summary};
+use pagesim_swap::SwapStats;
+use pagesim_workloads::Workload;
+
+use crate::config::SystemConfig;
+use crate::kernel::Kernel;
+
+/// Everything one workload execution produces.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Wall-clock runtime of the workload (ns of simulated time).
+    pub runtime_ns: Nanos,
+    /// Completed MMU touches.
+    pub accesses: u64,
+    /// Zero-fill (first touch) faults.
+    pub minor_faults: u64,
+    /// Faults served from the swap device / backing file — the paper's
+    /// "fault count".
+    pub major_faults: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Evictions that required a device write.
+    pub swap_outs: u64,
+    /// Clean evictions served by the swap-cache fast path.
+    pub clean_drops: u64,
+    /// Faults that found every frame pinned and had to wait.
+    pub alloc_stalls: u64,
+    /// Faults that waited on another thread's in-flight fault for the
+    /// same page (page-lock contention analog).
+    pub shared_fault_waits: u64,
+    /// Direct-reclaim invocations (allocation dipped into the reserve).
+    pub direct_reclaims: u64,
+    /// Reclaim batches run by the background reclaim thread.
+    pub kswapd_batches: u64,
+    /// Times background reclaim paused for write-back throttling.
+    pub writeback_throttles: u64,
+    /// Slices in which the aging thread did work.
+    pub aging_runs: u64,
+    /// Read-request latency distribution (YCSB).
+    pub read_latency: LatencyHistogram,
+    /// Write-request latency distribution (YCSB).
+    pub write_latency: LatencyHistogram,
+    /// Policy counters.
+    pub policy: PolicyStats,
+    /// Swap-device counters.
+    pub swap_stats: SwapStats,
+    /// CPU consumed by application threads.
+    pub app_cpu_ns: Nanos,
+    /// CPU consumed by kernel threads (reclaim + aging).
+    pub kernel_cpu_ns: Nanos,
+    /// Workload footprint (pages).
+    pub footprint_pages: u32,
+    /// Configured physical frames.
+    pub capacity_frames: u32,
+    /// Bytes held on the swap device at exit (compressed for ZRAM).
+    pub swap_used_bytes: u64,
+}
+
+impl RunMetrics {
+    /// Runtime in seconds of simulated time.
+    pub fn runtime_secs(&self) -> f64 {
+        self.runtime_ns as f64 / 1e9
+    }
+
+    /// Mean request latency across read and write requests, in ns
+    /// (the paper normalizes YCSB by average request time).
+    pub fn mean_request_latency(&self) -> f64 {
+        let n = self.read_latency.count() + self.write_latency.count();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.read_latency.mean() * self.read_latency.count() as f64
+            + self.write_latency.mean() * self.write_latency.count() as f64)
+            / n as f64
+    }
+}
+
+/// Runs one `(config, workload)` cell.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    config: SystemConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment for `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        Experiment { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// One execution ("one reboot"), fully determined by `seed`.
+    pub fn run(&self, workload: &dyn Workload, seed: u64) -> RunMetrics {
+        Kernel::build(&self.config, workload, seed).run()
+    }
+
+    /// Runs `trials` independent executions with seeds derived from
+    /// `master_seed` (the paper runs 25 per cell).
+    pub fn run_trials<W: Workload + Sync>(
+        &self,
+        workload: &W,
+        master_seed: u64,
+        trials: u32,
+    ) -> TrialSet {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(trials as usize)
+            .max(1);
+        let mut runs: Vec<Option<RunMetrics>> = vec![None; trials as usize];
+        if threads <= 1 {
+            for (i, slot) in runs.iter_mut().enumerate() {
+                *slot = Some(self.run(workload, trial_seed(master_seed, i as u32)));
+            }
+        } else {
+            let results = parking_lot::Mutex::new(&mut runs);
+            let next = std::sync::atomic::AtomicU32::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= trials {
+                            break;
+                        }
+                        let m = self.run(workload, trial_seed(master_seed, i));
+                        results.lock()[i as usize] = Some(m);
+                    });
+                }
+            })
+            .expect("trial worker panicked");
+        }
+        TrialSet {
+            runs: runs.into_iter().map(|r| r.expect("trial missing")).collect(),
+        }
+    }
+}
+
+/// The trials of one experiment cell.
+#[derive(Clone, Debug)]
+pub struct TrialSet {
+    /// Per-trial metrics, in trial order.
+    pub runs: Vec<RunMetrics>,
+}
+
+impl TrialSet {
+    /// Runtimes in seconds.
+    pub fn runtimes(&self) -> Vec<f64> {
+        self.runs.iter().map(RunMetrics::runtime_secs).collect()
+    }
+
+    /// Major-fault counts.
+    pub fn faults(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.major_faults as f64).collect()
+    }
+
+    /// Mean request latencies (YCSB cells).
+    pub fn mean_request_latencies(&self) -> Vec<f64> {
+        self.runs
+            .iter()
+            .map(RunMetrics::mean_request_latency)
+            .collect()
+    }
+
+    /// Summary of runtimes.
+    pub fn runtime_summary(&self) -> Summary {
+        Summary::of(&self.runtimes())
+    }
+
+    /// Summary of fault counts.
+    pub fn fault_summary(&self) -> Summary {
+        Summary::of(&self.faults())
+    }
+
+    /// All trials' read-latency histograms merged.
+    pub fn merged_read_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for r in &self.runs {
+            h.merge(&r.read_latency);
+        }
+        h
+    }
+
+    /// All trials' write-latency histograms merged.
+    pub fn merged_write_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for r in &self.runs {
+            h.merge(&r.write_latency);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PolicyChoice, SwapChoice};
+    use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+
+    #[test]
+    fn trials_are_reproducible_and_distinct() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let e = Experiment::new(
+            SystemConfig::new(PolicyChoice::Clock, SwapChoice::Zram)
+                .capacity_ratio(0.5)
+                .cores(2),
+        );
+        let a = e.run_trials(&w, 99, 3);
+        let b = e.run_trials(&w, 99, 3);
+        assert_eq!(a.runtimes(), b.runtimes());
+        assert_eq!(a.faults(), b.faults());
+        // trials within a set differ (different derived seeds)
+        let r = a.runtimes();
+        assert!(r.windows(2).any(|w| w[0] != w[1]), "no variance: {r:?}");
+    }
+
+    #[test]
+    fn summaries_cover_all_trials() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let e = Experiment::new(
+            SystemConfig::new(PolicyChoice::MgLruDefault, SwapChoice::Zram)
+                .capacity_ratio(0.5)
+                .cores(2),
+        );
+        let set = e.run_trials(&w, 5, 4);
+        assert_eq!(set.runtime_summary().n, 4);
+        assert_eq!(set.fault_summary().n, 4);
+        assert!(set.runtime_summary().mean > 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulation barriers for bulk-synchronous workloads.
+
+use crate::sched::ThreadId;
+
+/// Identifies a barrier within a [`BarrierSet`].
+pub type BarrierId = usize;
+
+#[derive(Debug)]
+struct Barrier {
+    parties: usize,
+    waiting: Vec<ThreadId>,
+    /// Completed arrival rounds, for tests and phase accounting.
+    generation: u64,
+}
+
+/// A collection of reusable (cyclic) barriers.
+///
+/// A thread "arrives" at a barrier; the final arrival releases everyone and
+/// resets the barrier for the next round, mirroring the per-iteration
+/// barriers in PageRank-style workloads.
+///
+/// ```rust
+/// use pagesim_engine::{BarrierSet, ThreadId};
+/// let mut bs = BarrierSet::new();
+/// let b = bs.create(2);
+/// assert_eq!(bs.arrive(b, ThreadId(0)), None); // first waits
+/// let released = bs.arrive(b, ThreadId(1)).unwrap();
+/// assert_eq!(released, vec![ThreadId(0)]); // waiters to wake (arriver continues)
+/// ```
+#[derive(Debug, Default)]
+pub struct BarrierSet {
+    barriers: Vec<Barrier>,
+}
+
+impl BarrierSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn create(&mut self, parties: usize) -> BarrierId {
+        assert!(parties > 0, "barrier needs at least one party");
+        self.barriers.push(Barrier {
+            parties,
+            waiting: Vec::with_capacity(parties - 1),
+            generation: 0,
+        });
+        self.barriers.len() - 1
+    }
+
+    /// Thread `tid` arrives at barrier `id`.
+    ///
+    /// Returns `None` if the thread must block, or `Some(waiters)` if this
+    /// arrival completed the round: `waiters` are the previously blocked
+    /// threads that should now be woken (the arriving thread itself simply
+    /// continues running and is not included).
+    pub fn arrive(&mut self, id: BarrierId, tid: ThreadId) -> Option<Vec<ThreadId>> {
+        let b = &mut self.barriers[id];
+        debug_assert!(
+            !b.waiting.contains(&tid),
+            "thread {tid:?} arrived twice at barrier {id}"
+        );
+        if b.waiting.len() + 1 == b.parties {
+            b.generation += 1;
+            Some(std::mem::take(&mut b.waiting))
+        } else {
+            b.waiting.push(tid);
+            None
+        }
+    }
+
+    /// Removes a party from barrier `id` permanently (a thread exited before
+    /// its peers). If that completes the current round, the released waiters
+    /// are returned.
+    pub fn reduce_parties(&mut self, id: BarrierId) -> Option<Vec<ThreadId>> {
+        let b = &mut self.barriers[id];
+        assert!(b.parties > 1, "cannot reduce a 1-party barrier");
+        b.parties -= 1;
+        if b.waiting.len() == b.parties {
+            b.generation += 1;
+            Some(std::mem::take(&mut b.waiting))
+        } else {
+            None
+        }
+    }
+
+    /// Completed rounds of barrier `id`.
+    pub fn generation(&self, id: BarrierId) -> u64 {
+        self.barriers[id].generation
+    }
+
+    /// Threads currently blocked on barrier `id`.
+    pub fn waiting(&self, id: BarrierId) -> usize {
+        self.barriers[id].waiting.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_arrival_releases_all() {
+        let mut bs = BarrierSet::new();
+        let b = bs.create(3);
+        assert!(bs.arrive(b, ThreadId(0)).is_none());
+        assert!(bs.arrive(b, ThreadId(1)).is_none());
+        assert_eq!(bs.waiting(b), 2);
+        let released = bs.arrive(b, ThreadId(2)).unwrap();
+        assert_eq!(released, vec![ThreadId(0), ThreadId(1)]);
+        assert_eq!(bs.generation(b), 1);
+        assert_eq!(bs.waiting(b), 0);
+    }
+
+    #[test]
+    fn barrier_is_cyclic() {
+        let mut bs = BarrierSet::new();
+        let b = bs.create(2);
+        for round in 1..=5 {
+            assert!(bs.arrive(b, ThreadId(0)).is_none());
+            assert!(bs.arrive(b, ThreadId(1)).is_some());
+            assert_eq!(bs.generation(b), round);
+        }
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let mut bs = BarrierSet::new();
+        let b = bs.create(1);
+        assert_eq!(bs.arrive(b, ThreadId(7)), Some(vec![]));
+    }
+
+    #[test]
+    fn reduce_parties_can_release() {
+        let mut bs = BarrierSet::new();
+        let b = bs.create(3);
+        bs.arrive(b, ThreadId(0));
+        bs.arrive(b, ThreadId(1));
+        // Third party exits instead of arriving.
+        let released = bs.reduce_parties(b).unwrap();
+        assert_eq!(released, vec![ThreadId(0), ThreadId(1)]);
+        assert_eq!(bs.generation(b), 1);
+    }
+
+    #[test]
+    fn multiple_barriers_are_independent() {
+        let mut bs = BarrierSet::new();
+        let b1 = bs.create(2);
+        let b2 = bs.create(2);
+        assert!(bs.arrive(b1, ThreadId(0)).is_none());
+        assert!(bs.arrive(b2, ThreadId(1)).is_none());
+        assert!(bs.arrive(b1, ThreadId(2)).is_some());
+        assert_eq!(bs.waiting(b2), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # pagesim-engine
+//!
+//! A small, deterministic discrete-event simulation (DES) engine used as the
+//! substrate for the `pagesim` memory-management simulator.
+//!
+//! The engine deliberately knows nothing about paging: it provides the
+//! reusable building blocks a system simulator needs and leaves the domain
+//! logic (MMU, fault handling, replacement policies) to higher layers.
+//!
+//! ## Components
+//!
+//! * [`SimTime`] / [`Nanos`] — virtual time in nanoseconds.
+//! * [`EventQueue`] — a stable-order pending-event set. Ties at equal
+//!   timestamps are broken by insertion sequence so simulations are
+//!   bit-for-bit reproducible.
+//! * [`Scheduler`] — a preemptive round-robin CPU scheduler over a fixed
+//!   number of hardware threads ("cores"), with priority for bound kernel
+//!   threads.
+//! * [`QueuedDevice`] — an analytic FIFO queue with `k` servers used to model
+//!   I/O devices; computes completion times at submit time, so no internal
+//!   events are needed.
+//! * [`BarrierSet`] — simulation barriers for modeling bulk-synchronous
+//!   workloads.
+//! * [`rng`] — deterministic seed-derivation helpers so every trial is a pure
+//!   function of a master seed.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use pagesim_engine::{EventQueue, SimTime};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(SimTime::from_ns(30), "c");
+//! q.push(SimTime::from_ns(10), "a");
+//! q.push(SimTime::from_ns(10), "b"); // same time: FIFO order preserved
+//! let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+//! assert_eq!(order, vec!["a", "b", "c"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod barrier;
+mod device;
+mod event;
+pub mod rng;
+mod sched;
+mod time;
+
+pub use barrier::{BarrierId, BarrierSet};
+pub use device::{DeviceStats, QueuedDevice};
+pub use event::EventQueue;
+pub use sched::{CoreId, DispatchDecision, SchedStats, Scheduler, ThreadClass, ThreadId};
+pub use time::{Nanos, SimTime, MICROSECOND, MILLISECOND, SECOND};

@@ -1,0 +1,119 @@
+//! Property tests for the DES engine primitives.
+
+use proptest::prelude::*;
+
+use pagesim_engine::{
+    DispatchDecision, EventQueue, QueuedDevice, Scheduler, SimTime, ThreadClass,
+};
+
+proptest! {
+    /// The event queue delivers in (time, insertion) order for any input.
+    #[test]
+    fn event_queue_matches_stable_sort(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_ns(), p))).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// A single-server device is strictly FIFO; with any server count a
+    /// request never finishes before its own submit + service time, and
+    /// service *starts* are FIFO (monotone non-decreasing).
+    #[test]
+    fn device_completions_respect_fifo_service(
+        servers in 1usize..4,
+        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100),
+    ) {
+        let mut d = QueuedDevice::new(servers);
+        let mut now = 0u64;
+        let mut last_done = 0u64;
+        let mut last_start = 0u64;
+        for (gap, service) in reqs {
+            now += gap;
+            let done = d.submit(SimTime::from_ns(now), service).as_ns();
+            // A request can never finish before its own service time.
+            prop_assert!(done >= now + service);
+            let start = done - service;
+            // FIFO admission: a later submission never starts service
+            // before an earlier one.
+            prop_assert!(start >= last_start, "start reordered: {start} < {last_start}");
+            last_start = start;
+            if servers == 1 {
+                // One server: completions are strictly ordered too.
+                prop_assert!(done >= last_done, "reordered: {done} < {last_done}");
+            }
+            last_done = last_done.max(done);
+        }
+    }
+
+    /// Random dispatch/wake/block sequences keep the scheduler coherent:
+    /// no thread occupies two cores, counts stay consistent.
+    #[test]
+    fn scheduler_is_coherent_under_random_ops(
+        ops in prop::collection::vec(0u8..4, 1..300),
+        cores in 1usize..5,
+        nthreads in 1u32..8,
+    ) {
+        let mut s = Scheduler::new(cores, 1000);
+        let tids: Vec<_> = (0..nthreads).map(|_| s.spawn(ThreadClass::App)).collect();
+        for &t in &tids {
+            s.make_runnable(t);
+        }
+        let mut running: Vec<(usize, pagesim_engine::ThreadId)> = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    if let Some((core, tid)) = s.try_dispatch() {
+                        prop_assert!(!running.iter().any(|&(c, _)| c == core));
+                        prop_assert!(!running.iter().any(|&(_, t)| t == tid));
+                        running.push((core, tid));
+                        prop_assert!(running.len() <= cores);
+                    }
+                }
+                1 => {
+                    if let Some((core, tid)) = running.pop() {
+                        s.slice_done(core, tid, DispatchDecision::Preempted, 10);
+                    }
+                }
+                2 => {
+                    if let Some((core, tid)) = running.pop() {
+                        s.slice_done(core, tid, DispatchDecision::Blocked, 10);
+                    }
+                }
+                _ => {
+                    //
+
+                    // wake everything not running (no-op for runnable)
+                    for &t in &tids {
+                        if !running.iter().any(|&(_, r)| r == t) && !s.is_finished(t) {
+                            s.make_runnable(t);
+                        }
+                    }
+                }
+            }
+        }
+        // Drain: finish what is running, wake everything blocked, then
+        // dispatch-and-finish until no live threads remain.
+        while let Some((core, tid)) = running.pop() {
+            s.slice_done(core, tid, DispatchDecision::Finished, 1);
+        }
+        loop {
+            for &t in &tids {
+                if !s.is_finished(t) {
+                    s.make_runnable(t); // no-op if already runnable
+                }
+            }
+            match s.try_dispatch() {
+                Some((core, tid)) => s.slice_done(core, tid, DispatchDecision::Finished, 1),
+                None => break,
+            }
+        }
+        prop_assert_eq!(s.live_threads(), 0);
+    }
+}

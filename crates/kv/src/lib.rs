@@ -1,0 +1,346 @@
+//! # pagesim-kv
+//!
+//! A memcached-like in-memory key-value store that lives inside a
+//! *simulated* address space. It is the substrate for the paper's YCSB
+//! experiments: the store does not hold real values — it maintains the
+//! real *placement* data structures (a chained hash table plus slab-style
+//! item allocation) and answers requests with the exact sequence of page
+//! touches a real memcached would make, so the paging simulator above it
+//! sees realistic access patterns.
+//!
+//! Layout within the address space (in pages):
+//!
+//! ```text
+//! [ hash-table bucket pages | slab pages holding items ]
+//! ```
+//!
+//! A GET touches the key's bucket page, then each item page along the
+//! collision chain until the key matches. An UPDATE does the same and
+//! writes the item's page(s). Values default to ~1.2 KiB, the per-item
+//! footprint implied by the paper's setup (11 M items in 12–16 GB).
+//!
+//! ```rust
+//! use pagesim_kv::{KvConfig, KvStore};
+//! let store = KvStore::build(KvConfig { items: 1000, value_size: 1200, ..KvConfig::default() });
+//! let plan = store.get_plan(42);
+//! assert!(plan.touches.len() >= 2); // bucket page + item page(s)
+//! assert!(!plan.touches[0].write);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pagesim_mem::{Vpn, PAGE_SIZE};
+
+/// Configuration of a [`KvStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct KvConfig {
+    /// Number of items loaded into the cache.
+    pub items: u32,
+    /// Value size in bytes (key + metadata included).
+    pub value_size: u32,
+    /// Average items per hash bucket (controls chain length).
+    pub load_factor: f64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            items: 100_000,
+            value_size: 1200,
+            load_factor: 1.0,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// One page touch in an access plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Touch {
+    /// Virtual page touched.
+    pub vpn: Vpn,
+    /// Whether the touch is a store.
+    pub write: bool,
+}
+
+/// The page touches and CPU work of one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPlan {
+    /// Ordered page touches.
+    pub touches: Vec<Touch>,
+    /// Base CPU cost in nanoseconds (hashing, memcmp, protocol work),
+    /// excluding memory-access costs the simulator charges per touch.
+    pub cpu_ns: u64,
+}
+
+/// Base CPU cost of serving one request (protocol parse + hash).
+const REQUEST_CPU_NS: u64 = 120_000;
+/// Extra CPU per chain element compared (memcmp of keys).
+const CHAIN_CPU_NS: u64 = 400;
+
+/// The store: item placement plus a real chained hash table.
+#[derive(Debug)]
+pub struct KvStore {
+    cfg: KvConfig,
+    buckets: Vec<Vec<u32>>, // bucket -> item ids (chain order)
+    bucket_pages: u32,
+    item_pages_each: u32,
+    items_per_page: u32,
+    total_pages: u32,
+}
+
+impl KvStore {
+    /// Builds the store and "loads" all items (computes placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `value_size == 0`.
+    pub fn build(cfg: KvConfig) -> KvStore {
+        assert!(cfg.items > 0, "empty store");
+        assert!(cfg.value_size > 0, "zero-size values");
+        let nbuckets = ((cfg.items as f64 / cfg.load_factor).ceil() as u32).max(1);
+        // 8 bytes per bucket head pointer.
+        let bucket_pages = (nbuckets as u64 * 8).div_ceil(PAGE_SIZE as u64) as u32;
+        let (items_per_page, item_pages_each) = if cfg.value_size as usize <= PAGE_SIZE {
+            ((PAGE_SIZE as u32 / cfg.value_size).max(1), 1)
+        } else {
+            (1, (cfg.value_size as usize).div_ceil(PAGE_SIZE) as u32)
+        };
+        let slab_pages = if item_pages_each > 1 {
+            cfg.items * item_pages_each
+        } else {
+            cfg.items.div_ceil(items_per_page)
+        };
+
+        let mut buckets = vec![Vec::new(); nbuckets as usize];
+        for item in 0..cfg.items {
+            let b = Self::hash(cfg.seed, item) % nbuckets as u64;
+            buckets[b as usize].push(item);
+        }
+
+        KvStore {
+            cfg,
+            buckets,
+            bucket_pages,
+            item_pages_each,
+            items_per_page,
+            total_pages: bucket_pages + slab_pages,
+        }
+    }
+
+    fn hash(seed: u64, item: u32) -> u64 {
+        // fmix64 from MurmurHash3.
+        let mut h = seed ^ (item as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+
+    /// Total pages the store occupies (size the address space with this).
+    pub fn total_pages(&self) -> u32 {
+        self.total_pages
+    }
+
+    /// Pages used by the hash-table buckets.
+    pub fn bucket_pages(&self) -> u32 {
+        self.bucket_pages
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u32 {
+        self.cfg.items
+    }
+
+    fn bucket_of(&self, item: u32) -> u32 {
+        (Self::hash(self.cfg.seed, item) % self.buckets.len() as u64) as u32
+    }
+
+    fn bucket_page(&self, bucket: u32) -> Vpn {
+        (bucket as u64 * 8 / PAGE_SIZE as u64) as Vpn
+    }
+
+    /// First page of an item's value.
+    pub fn item_page(&self, item: u32) -> Vpn {
+        debug_assert!(item < self.cfg.items);
+        if self.item_pages_each > 1 {
+            self.bucket_pages + item * self.item_pages_each
+        } else {
+            self.bucket_pages + item / self.items_per_page
+        }
+    }
+
+    fn plan(&self, item: u32, write: bool) -> AccessPlan {
+        debug_assert!(item < self.cfg.items, "unknown item {item}");
+        let bucket = self.bucket_of(item);
+        let mut touches = vec![Touch {
+            vpn: self.bucket_page(bucket),
+            write: false,
+        }];
+        let mut cpu_ns = REQUEST_CPU_NS;
+        // Walk the chain: every element before ours costs a page touch of
+        // that item's header plus a key compare.
+        for &chained in &self.buckets[bucket as usize] {
+            cpu_ns += CHAIN_CPU_NS;
+            if chained == item {
+                break;
+            }
+            touches.push(Touch {
+                vpn: self.item_page(chained),
+                write: false,
+            });
+        }
+        // Finally the item's own page(s).
+        for p in 0..self.item_pages_each {
+            touches.push(Touch {
+                vpn: self.item_page(item) + p,
+                write,
+            });
+        }
+        AccessPlan { touches, cpu_ns }
+    }
+
+    /// Page touches for a GET of `item`.
+    pub fn get_plan(&self, item: u32) -> AccessPlan {
+        self.plan(item, false)
+    }
+
+    /// Page touches for an UPDATE of `item` (read-modify-write).
+    pub fn update_plan(&self, item: u32) -> AccessPlan {
+        self.plan(item, true)
+    }
+
+    /// Mean collision-chain length (diagnostics; should be ≈ load factor).
+    pub fn mean_chain_len(&self) -> f64 {
+        self.cfg.items as f64 / self.buckets.len() as f64
+    }
+
+    /// Longest collision chain (tail-latency contributor).
+    pub fn max_chain_len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KvStore {
+        KvStore::build(KvConfig {
+            items: 10_000,
+            value_size: 1200,
+            load_factor: 1.0,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn layout_is_sized_correctly() {
+        let s = small();
+        // 10k buckets * 8B = 80kB -> 20 bucket pages
+        assert_eq!(s.bucket_pages(), 20);
+        // 3 items of 1200B per 4096B page -> ceil(10000/3) slab pages
+        assert_eq!(s.total_pages(), 20 + 3334);
+    }
+
+    #[test]
+    fn get_touches_bucket_then_item() {
+        let s = small();
+        let plan = s.get_plan(123);
+        assert!(plan.touches.len() >= 2);
+        assert!(plan.touches[0].vpn < s.bucket_pages(), "bucket page first");
+        let last = plan.touches.last().unwrap();
+        assert_eq!(last.vpn, s.item_page(123));
+        assert!(!last.write);
+        assert!(plan.cpu_ns >= REQUEST_CPU_NS);
+    }
+
+    #[test]
+    fn update_writes_item_page_only() {
+        let s = small();
+        let plan = s.update_plan(7);
+        let writes: Vec<_> = plan.touches.iter().filter(|t| t.write).collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].vpn, s.item_page(7));
+        assert!(!plan.touches[0].write, "bucket page is never written");
+    }
+
+    #[test]
+    fn chains_are_short_at_unit_load() {
+        let s = small();
+        assert!((s.mean_chain_len() - 1.0).abs() < 0.05);
+        assert!(s.max_chain_len() < 12, "max chain {}", s.max_chain_len());
+    }
+
+    #[test]
+    fn chain_position_affects_plan_length() {
+        let s = small();
+        // Find a bucket with >= 2 items; the second item's plan must touch
+        // the first item's page on the way.
+        let (bucket, chain) = s
+            .buckets
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.len() >= 2)
+            .map(|(b, c)| (b as u32, c.clone()))
+            .expect("10k items must collide somewhere");
+        let first = chain[0];
+        let second = chain[1];
+        let p1 = s.get_plan(first);
+        let p2 = s.get_plan(second);
+        assert_eq!(p1.touches.len(), 2);
+        assert_eq!(p2.touches.len(), 3);
+        assert_eq!(p2.touches[1].vpn, s.item_page(first));
+        assert_eq!(s.bucket_of(second), bucket);
+        assert!(p2.cpu_ns > p1.cpu_ns);
+    }
+
+    #[test]
+    fn multipage_values_touch_every_page() {
+        let s = KvStore::build(KvConfig {
+            items: 100,
+            value_size: 10_000, // 3 pages
+            load_factor: 1.0,
+            seed: 1,
+        });
+        let plan = s.get_plan(50);
+        let item_touches = plan
+            .touches
+            .iter()
+            .filter(|t| t.vpn >= s.item_page(50) && t.vpn < s.item_page(50) + 3)
+            .count();
+        assert_eq!(item_touches, 3);
+        assert_eq!(s.total_pages(), s.bucket_pages() + 300);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = small();
+        let b = small();
+        for item in (0..10_000).step_by(997) {
+            assert_eq!(a.get_plan(item), b.get_plan(item));
+        }
+    }
+
+    #[test]
+    fn all_items_fit_inside_declared_pages() {
+        let s = small();
+        for item in 0..s.items() {
+            let plan = s.get_plan(item);
+            for t in &plan.touches {
+                assert!(t.vpn < s.total_pages(), "touch outside space");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty store")]
+    fn zero_items_rejected() {
+        KvStore::build(KvConfig {
+            items: 0,
+            ..KvConfig::default()
+        });
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-process leaf page tables.
+
+use crate::arena::{PageArena, PageKey};
+use crate::phys::FrameId;
+use crate::pte::Pte;
+use crate::{line_of, region_of, AsId, LineIdx, RegionIdx, Vpn, PTES_PER_LINE, PTES_PER_REGION};
+
+/// A simulated address space: a flat array of leaf PTEs with x86-64 leaf
+/// geometry, plus the dense [`PageKey`] range identifying its pages
+/// globally.
+///
+/// Only the leaf level is materialized — upper levels of a real 4-level
+/// table matter for walk cost, which the cost model charges, not for
+/// policy-visible state.
+#[derive(Debug)]
+pub struct AddressSpace {
+    id: AsId,
+    base_key: PageKey,
+    ptes: Vec<Pte>,
+}
+
+impl AddressSpace {
+    /// Creates a space with `pages` virtual pages and registers them in
+    /// `arena`.
+    pub fn new(id: AsId, pages: u32, arena: &mut PageArena) -> Self {
+        let base_key = arena.register_space(id, pages);
+        AddressSpace {
+            id,
+            base_key,
+            ptes: vec![Pte::empty(); pages as usize],
+        }
+    }
+
+    /// This space's id.
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// Number of virtual pages.
+    pub fn pages(&self) -> u32 {
+        self.ptes.len() as u32
+    }
+
+    /// Global key of `vpn`.
+    pub fn key_of(&self, vpn: Vpn) -> PageKey {
+        debug_assert!((vpn as usize) < self.ptes.len());
+        self.base_key + vpn
+    }
+
+    /// Vpn of a key belonging to this space.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the key is outside this space's range.
+    pub fn vpn_of(&self, key: PageKey) -> Vpn {
+        debug_assert!(key >= self.base_key && key < self.base_key + self.pages());
+        key - self.base_key
+    }
+
+    /// First key of this space (keys are contiguous).
+    pub fn base_key(&self) -> PageKey {
+        self.base_key
+    }
+
+    /// Read-only view of a PTE.
+    pub fn pte(&self, vpn: Vpn) -> Pte {
+        self.ptes[vpn as usize]
+    }
+
+    /// Mutable access to a PTE (policy scan primitives).
+    pub fn pte_mut(&mut self, vpn: Vpn) -> &mut Pte {
+        &mut self.ptes[vpn as usize]
+    }
+
+    /// Installs a mapping after a fault.
+    pub fn map(&mut self, vpn: Vpn, frame: FrameId) {
+        self.ptes[vpn as usize].set_mapped(frame);
+    }
+
+    /// MMU touch: sets accessed (and dirty for stores).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the page is not present — callers must fault first.
+    pub fn mark_accessed(&mut self, vpn: Vpn, write: bool) {
+        let pte = &mut self.ptes[vpn as usize];
+        pte.set_accessed();
+        if write {
+            pte.set_dirty();
+        }
+    }
+
+    /// Number of PTE cache lines.
+    pub fn lines(&self) -> u32 {
+        self.ptes.len().div_ceil(PTES_PER_LINE) as u32
+    }
+
+    /// Number of PMD regions.
+    pub fn regions(&self) -> u32 {
+        self.ptes.len().div_ceil(PTES_PER_REGION) as u32
+    }
+
+    /// The vpn range covered by cache line `line`, clamped to the space.
+    pub fn line_vpns(&self, line: LineIdx) -> std::ops::Range<Vpn> {
+        let start = line * PTES_PER_LINE as u32;
+        let end = (start + PTES_PER_LINE as u32).min(self.pages());
+        start..end
+    }
+
+    /// The vpn range covered by PMD region `region`, clamped to the space.
+    pub fn region_vpns(&self, region: RegionIdx) -> std::ops::Range<Vpn> {
+        let start = region * PTES_PER_REGION as u32;
+        let end = (start + PTES_PER_REGION as u32).min(self.pages());
+        start..end
+    }
+
+    /// Test-and-clear accessed bits over one cache line; pushes the vpn of
+    /// each present+accessed PTE into `out` and returns how many PTEs were
+    /// examined (for cost accounting).
+    pub fn scan_line(&mut self, line: LineIdx, out: &mut Vec<Vpn>) -> u32 {
+        let range = self.line_vpns(line);
+        let mut examined = 0;
+        for vpn in range {
+            examined += 1;
+            let pte = &mut self.ptes[vpn as usize];
+            if pte.present() && pte.test_and_clear_accessed() {
+                out.push(vpn);
+            }
+        }
+        examined
+    }
+
+    /// Counts present PTEs in a region (used to skip unmapped table areas
+    /// during linear walks).
+    pub fn region_present_count(&self, region: RegionIdx) -> u32 {
+        self.region_vpns(region)
+            .filter(|&vpn| self.ptes[vpn as usize].present())
+            .count() as u32
+    }
+
+    /// Number of resident pages in the whole space.
+    pub fn resident_pages(&self) -> u32 {
+        self.ptes.iter().filter(|p| p.present()).count() as u32
+    }
+
+    /// The region containing `vpn` (convenience re-export of
+    /// [`region_of`]).
+    pub fn region_containing(&self, vpn: Vpn) -> RegionIdx {
+        region_of(vpn)
+    }
+
+    /// The cache line containing `vpn`.
+    pub fn line_containing(&self, vpn: Vpn) -> LineIdx {
+        line_of(vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space(pages: u32) -> (AddressSpace, PageArena) {
+        let mut arena = PageArena::new();
+        let s = AddressSpace::new(AsId(3), pages, &mut arena);
+        (s, arena)
+    }
+
+    #[test]
+    fn key_mapping_roundtrips() {
+        let mut arena = PageArena::new();
+        let _other = AddressSpace::new(AsId(0), 100, &mut arena);
+        let s = AddressSpace::new(AsId(1), 50, &mut arena);
+        assert_eq!(s.base_key(), 100);
+        assert_eq!(s.key_of(7), 107);
+        assert_eq!(s.vpn_of(107), 7);
+        assert_eq!(arena.info(107).as_id, AsId(1));
+    }
+
+    #[test]
+    fn geometry_counts() {
+        let (s, _) = space(1025);
+        assert_eq!(s.pages(), 1025);
+        assert_eq!(s.lines(), 129); // ceil(1025/8)
+        assert_eq!(s.regions(), 3); // ceil(1025/512)
+        assert_eq!(s.region_vpns(2), 1024..1025);
+        assert_eq!(s.line_vpns(128), 1024..1025);
+    }
+
+    #[test]
+    fn scan_line_clears_and_reports() {
+        let (mut s, _) = space(16);
+        for vpn in [0u32, 2, 9] {
+            s.map(vpn, vpn as FrameId + 100);
+            s.mark_accessed(vpn, false);
+        }
+        let mut out = Vec::new();
+        let examined = s.scan_line(0, &mut out);
+        assert_eq!(examined, 8);
+        assert_eq!(out, vec![0, 2]);
+        assert!(!s.pte(0).accessed());
+        // second scan finds nothing
+        out.clear();
+        s.scan_line(0, &mut out);
+        assert!(out.is_empty());
+        // line 1 still has vpn 9 accessed
+        s.scan_line(1, &mut out);
+        assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn region_present_count_tracks_mappings() {
+        let (mut s, _) = space(1024);
+        assert_eq!(s.region_present_count(0), 0);
+        for vpn in 0..10 {
+            s.map(vpn, vpn as FrameId);
+        }
+        s.map(600, 99);
+        assert_eq!(s.region_present_count(0), 10);
+        assert_eq!(s.region_present_count(1), 1);
+        assert_eq!(s.resident_pages(), 11);
+    }
+
+    #[test]
+    fn write_sets_dirty() {
+        let (mut s, _) = space(4);
+        s.map(1, 7);
+        s.mark_accessed(1, true);
+        assert!(s.pte(1).dirty());
+        assert!(s.pte(1).accessed());
+        s.mark_accessed(1, false);
+        assert!(s.pte(1).dirty(), "reads must not clear dirty");
+    }
+}

@@ -1,0 +1,103 @@
+//! # pagesim-mem
+//!
+//! The simulated memory substrate beneath the `pagesim` replacement-policy
+//! study: page-table entries with hardware-maintained accessed/dirty bits,
+//! per-address-space leaf page tables with x86-64 leaf geometry, a physical
+//! frame pool with Linux-style watermarks, and reverse-map ownership.
+//!
+//! ## Geometry
+//!
+//! The paper's MG-LRU results hinge on page-table *shape*: the aging thread
+//! scans leaf page tables linearly, the bloom filter works at PMD-region
+//! granularity (512 PTEs), and "hot" regions are defined in units of PTE
+//! cache lines (8 PTEs per 64-byte line). Those three constants are
+//! preserved exactly ([`PAGE_SIZE`], [`PTES_PER_LINE`], [`PTES_PER_REGION`]).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use pagesim_mem::{AddressSpace, AsId, PageArena, PhysMem, Watermarks};
+//!
+//! let mut arena = PageArena::new();
+//! let mut space = AddressSpace::new(AsId(0), 1024, &mut arena);
+//! let mut phys = PhysMem::new(512, Watermarks::for_capacity(512));
+//!
+//! let frame = phys.allocate(space.key_of(3)).unwrap();
+//! space.map(3, frame);
+//! space.mark_accessed(3, false);
+//! assert!(space.pte(3).accessed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addrspace;
+mod arena;
+mod phys;
+mod pte;
+
+pub use addrspace::AddressSpace;
+pub use arena::{EntropyClass, PageArena, PageInfo, PageKey};
+pub use phys::{FrameId, FrameState, PhysMem, Watermarks};
+pub use pte::Pte;
+
+/// Bytes per page (4 KiB, matching the paper's testbed).
+pub const PAGE_SIZE: usize = 4096;
+
+/// PTEs per 64-byte cache line (8 × 8-byte entries). MG-LRU's default
+/// bloom-filter admission rule is "at least one accessed PTE per cache
+/// line" of a region.
+pub const PTES_PER_LINE: usize = 8;
+
+/// PTEs per PMD region (one leaf page table page: 512 entries covering
+/// 2 MiB). This is the granularity at which MG-LRU's bloom filter filters
+/// aging scans.
+pub const PTES_PER_REGION: usize = 512;
+
+/// Cache lines per PMD region.
+pub const LINES_PER_REGION: usize = PTES_PER_REGION / PTES_PER_LINE;
+
+/// Identifies a simulated address space (process).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AsId(pub u16);
+
+/// A virtual page number within an address space.
+pub type Vpn = u32;
+
+/// Index of a PTE cache line within an address space (`vpn / 8`).
+pub type LineIdx = u32;
+
+/// Index of a PMD region within an address space (`vpn / 512`).
+pub type RegionIdx = u32;
+
+/// The cache line containing `vpn`.
+pub const fn line_of(vpn: Vpn) -> LineIdx {
+    vpn / PTES_PER_LINE as u32
+}
+
+/// The PMD region containing `vpn`.
+pub const fn region_of(vpn: Vpn) -> RegionIdx {
+    vpn / PTES_PER_REGION as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(PTES_PER_REGION % PTES_PER_LINE, 0);
+        assert_eq!(LINES_PER_REGION, 64);
+        assert_eq!(PAGE_SIZE / 8, PTES_PER_REGION);
+    }
+
+    #[test]
+    fn line_and_region_mapping() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(7), 0);
+        assert_eq!(line_of(8), 1);
+        assert_eq!(region_of(511), 0);
+        assert_eq!(region_of(512), 1);
+        assert_eq!(region_of(1024), 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! The classic Clock (active/inactive list) replacement policy.
+
+use pagesim_mem::PageKey;
+
+use crate::cost::CostModel;
+use crate::list::{Links, PageList};
+use crate::memview::MemView;
+use crate::{BgOutcome, Policy, PolicyStats, ReclaimOutcome};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Residence {
+    None,
+    Active,
+    Inactive,
+}
+
+/// Linux's pre-MG-LRU page replacement: two lists approximating LRU.
+///
+/// * The **active list** is meant to hold the working set; the **inactive
+///   list** holds eviction candidates.
+/// * When the lists are unbalanced, reclaim scans the active tail: pages
+///   with the accessed bit set rotate to the active head, others demote to
+///   the inactive head.
+/// * Eviction scans the inactive tail: accessed pages get a "second
+///   chance" (promotion back to active), others are reclaimed.
+///
+/// Every accessed-bit probe goes through the reverse map
+/// ([`MemView::rmap_test_clear_accessed`]) — a pointer chase per page.
+/// That per-page cost, with no spatial locality to exploit, is the
+/// overhead MG-LRU's linear walks remove, and it is charged faithfully
+/// here via [`CostModel::rmap_walk_ns`].
+#[derive(Debug)]
+pub struct ClockLru {
+    costs: CostModel,
+    nodes: Vec<Links>,
+    state: Vec<Residence>,
+    /// "Referenced" software bit: first fd-access marks, second activates
+    /// (mark_page_accessed semantics).
+    referenced: Vec<bool>,
+    active: PageList,
+    inactive: PageList,
+    stats: PolicyStats,
+}
+
+impl ClockLru {
+    /// Creates the policy for a system of `total_pages` pages.
+    pub fn new(total_pages: u32, costs: CostModel) -> Self {
+        ClockLru {
+            costs,
+            nodes: vec![Links::default(); total_pages as usize],
+            state: vec![Residence::None; total_pages as usize],
+            referenced: vec![false; total_pages as usize],
+            active: PageList::new(),
+            inactive: PageList::new(),
+            stats: PolicyStats::default(),
+        }
+    }
+
+    /// Pages currently on the active list.
+    pub fn active_len(&self) -> u32 {
+        self.active.len()
+    }
+
+    /// Pages currently on the inactive list.
+    pub fn inactive_len(&self) -> u32 {
+        self.inactive.len()
+    }
+
+    fn detach(&mut self, key: PageKey) {
+        match self.state[key as usize] {
+            Residence::Active => self.active.remove(&mut self.nodes, key),
+            Residence::Inactive => self.inactive.remove(&mut self.nodes, key),
+            Residence::None => {}
+        }
+        self.state[key as usize] = Residence::None;
+    }
+
+    fn move_to_active_head(&mut self, key: PageKey) {
+        self.detach(key);
+        self.active.push_front(&mut self.nodes, key);
+        self.state[key as usize] = Residence::Active;
+    }
+
+    fn move_to_inactive_head(&mut self, key: PageKey) {
+        self.detach(key);
+        self.inactive.push_front(&mut self.nodes, key);
+        self.state[key as usize] = Residence::Inactive;
+    }
+}
+
+impl Policy for ClockLru {
+    fn name(&self) -> String {
+        "clock".to_owned()
+    }
+
+    fn on_page_resident(&mut self, key: PageKey, _refault: bool, mem: &mut dyn MemView) {
+        // Anonymous pages start on the active list (classic kernel
+        // behaviour); file pages start inactive so streaming reads age out
+        // quickly.
+        self.referenced[key as usize] = false;
+        if mem.page_info(key).file_backed {
+            self.move_to_inactive_head(key);
+        } else {
+            self.move_to_active_head(key);
+        }
+    }
+
+    fn on_page_evicted(&mut self, key: PageKey, _mem: &mut dyn MemView) {
+        // Victims were already detached during selection.
+        debug_assert_eq!(self.state[key as usize], Residence::None);
+    }
+
+    fn on_fd_access(&mut self, key: PageKey, _mem: &mut dyn MemView) {
+        // mark_page_accessed: inactive+referenced -> active.
+        match self.state[key as usize] {
+            Residence::Inactive => {
+                if self.referenced[key as usize] {
+                    self.move_to_active_head(key);
+                    self.referenced[key as usize] = false;
+                    self.stats.promotions += 1;
+                } else {
+                    self.referenced[key as usize] = true;
+                }
+            }
+            Residence::Active => self.referenced[key as usize] = true,
+            Residence::None => {}
+        }
+    }
+
+    fn reclaim(&mut self, want: u32, mem: &mut dyn MemView) -> ReclaimOutcome {
+        let mut out = ReclaimOutcome::default();
+
+        // Phase 1: balance — demote cold active-tail pages to inactive.
+        let balance_cap = (want * 2).max(32);
+        let mut scanned = 0u32;
+        while self.inactive.len() < self.active.len() && scanned < balance_cap {
+            let Some(key) = self.active.pop_back(&mut self.nodes) else {
+                break;
+            };
+            self.state[key as usize] = Residence::None;
+            scanned += 1;
+            out.scanned += 1;
+            out.cpu_ns += self.costs.rmap_walk_ns + self.costs.list_op_ns;
+            self.stats.rmap_walks += 1;
+            if mem.rmap_test_clear_accessed(key) {
+                self.move_to_active_head(key); // rotate
+            } else {
+                self.move_to_inactive_head(key); // demote
+            }
+        }
+
+        // Phase 2: evict from the inactive tail with second chances.
+        let evict_scan_cap = (want * 8).max(64);
+        let mut evict_scanned = 0u32;
+        while (out.victims.len() as u32) < want && evict_scanned < evict_scan_cap {
+            let Some(key) = self.inactive.pop_back(&mut self.nodes) else {
+                break;
+            };
+            self.state[key as usize] = Residence::None;
+            evict_scanned += 1;
+            out.scanned += 1;
+            out.cpu_ns += self.costs.rmap_walk_ns;
+            self.stats.rmap_walks += 1;
+            if mem.rmap_test_clear_accessed(key) {
+                // Second chance.
+                self.move_to_active_head(key);
+                out.promoted += 1;
+                self.stats.promotions += 1;
+                out.cpu_ns += self.costs.list_op_ns;
+            } else {
+                out.victims.push(key);
+                out.cpu_ns += self.costs.evict_fixed_ns;
+                self.stats.evictions += 1;
+            }
+        }
+        out
+    }
+
+    fn wants_background(&self, _mem: &dyn MemView) -> bool {
+        // Clock does all its scanning in reclaim context.
+        false
+    }
+
+    fn background_work(&mut self, _budget_ns: u64, _mem: &mut dyn MemView) -> BgOutcome {
+        BgOutcome::default()
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memview::tests_support::FakeMem;
+
+    fn setup(pages: u32, resident: &[PageKey]) -> (ClockLru, FakeMem) {
+        let mut mem = FakeMem::new(pages);
+        let mut clock = ClockLru::new(pages, CostModel::default());
+        for &k in resident {
+            mem.set_resident(k, true);
+            clock.on_page_resident(k, false, &mut mem);
+        }
+        (clock, mem)
+    }
+
+    #[test]
+    fn new_anon_pages_go_active() {
+        let (clock, _mem) = setup(8, &[0, 1, 2]);
+        assert_eq!(clock.active_len(), 3);
+        assert_eq!(clock.inactive_len(), 0);
+    }
+
+    #[test]
+    fn reclaim_demotes_then_evicts_cold_pages() {
+        let (mut clock, mut mem) = setup(8, &[0, 1, 2, 3]);
+        // Page 3 is hot.
+        mem.set_accessed(3, true);
+        let out = clock.reclaim(2, &mut mem);
+        assert_eq!(out.victims.len(), 2);
+        assert!(!out.victims.contains(&3), "hot page must survive");
+        assert!(out.cpu_ns > 0);
+        assert!(out.scanned >= 2);
+    }
+
+    #[test]
+    fn second_chance_promotes_accessed_inactive() {
+        let (mut clock, mut mem) = setup(8, &[0, 1]);
+        // Force both onto inactive by reclaiming zero... instead do a
+        // balance pass: reclaim(0) balances lists.
+        clock.reclaim(0, &mut mem);
+        // whichever is on inactive, mark accessed, then reclaim
+        mem.set_accessed(0, true);
+        mem.set_accessed(1, true);
+        let out = clock.reclaim(1, &mut mem);
+        assert!(out.victims.is_empty(), "all pages accessed: second chance");
+        assert!(out.promoted > 0);
+    }
+
+    #[test]
+    fn fd_access_activates_on_second_touch() {
+        let mut mem = FakeMem::new(8);
+        mem.set_file_backed(0, true);
+        mem.set_resident(0, true);
+        let mut clock = ClockLru::new(8, CostModel::default());
+        clock.on_page_resident(0, false, &mut mem);
+        assert_eq!(clock.inactive_len(), 1, "file pages start inactive");
+        clock.on_fd_access(0, &mut mem);
+        assert_eq!(clock.inactive_len(), 1, "first touch only marks");
+        clock.on_fd_access(0, &mut mem);
+        assert_eq!(clock.active_len(), 1, "second touch activates");
+    }
+
+    #[test]
+    fn reclaim_on_empty_lists_is_safe() {
+        let (mut clock, mut mem) = setup(8, &[]);
+        let out = clock.reclaim(4, &mut mem);
+        assert!(out.victims.is_empty());
+        assert_eq!(out.cpu_ns, 0);
+    }
+
+    #[test]
+    fn costs_scale_with_scanning() {
+        let (mut clock, mut mem) = setup(64, &(0..64).collect::<Vec<_>>());
+        let out = clock.reclaim(8, &mut mem);
+        let expected_min = out.scanned * CostModel::default().rmap_walk_ns;
+        assert!(out.cpu_ns >= expected_min);
+    }
+
+    #[test]
+    fn no_background_work() {
+        let (clock, mem) = setup(8, &[0]);
+        assert!(!clock.wants_background(&mem));
+    }
+}

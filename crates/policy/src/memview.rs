@@ -1,0 +1,171 @@
+//! The kernel-memory interface policies program against.
+
+use pagesim_mem::{AsId, LineIdx, PageInfo, PageKey, RegionIdx, Vpn};
+
+/// Services the simulated kernel exposes to replacement policies.
+///
+/// The methods mirror the real primitives the studied policies use:
+/// reverse-map probes (expensive pointer chases), linear leaf-table scans
+/// (cheap per entry), and page-table geometry queries for the bloom filter.
+/// Implementations must *not* account CPU cost — policies do that through
+/// their [`CostModel`](crate::CostModel) so the cost structure stays an
+/// explicit, tunable part of the study.
+pub trait MemView {
+    /// Total registered pages (sizes the policies' metadata arenas).
+    fn total_pages(&self) -> u32;
+
+    /// Identity/attributes of a page.
+    fn page_info(&self, key: PageKey) -> PageInfo;
+
+    /// Whether the page is resident.
+    fn is_resident(&self, key: PageKey) -> bool;
+
+    /// Whether the page is dirty (would need write-back on eviction).
+    fn is_dirty(&self, key: PageKey) -> bool;
+
+    /// Reverse-map probe: test-and-clear the accessed bit of a resident
+    /// page. The Clock policy's only tracking primitive.
+    fn rmap_test_clear_accessed(&mut self, key: PageKey) -> bool;
+
+    /// Linear scan of one PTE cache line: appends the [`PageKey`] of every
+    /// present PTE whose accessed bit was set (bits are cleared) and
+    /// returns the number of PTEs examined.
+    fn scan_line(&mut self, space: AsId, line: LineIdx, out: &mut Vec<PageKey>) -> u32;
+
+    /// Global key of a page by address.
+    fn key_at(&self, space: AsId, vpn: Vpn) -> PageKey;
+
+    /// The address spaces the aging walk must cover.
+    fn space_ids(&self) -> Vec<AsId>;
+
+    /// Number of PMD regions in a space's leaf table.
+    fn region_count(&self, space: AsId) -> u32;
+
+    /// Present PTEs in a region — zero lets linear walks skip unmapped
+    /// stretches of the table.
+    fn region_present_count(&self, space: AsId, region: RegionIdx) -> u32;
+}
+
+/// Helper: the PMD region covering a vpn, re-exported for policies.
+pub fn region_of_vpn(vpn: Vpn) -> RegionIdx {
+    pagesim_mem::region_of(vpn)
+}
+
+/// In-memory [`MemView`] double for unit tests (one address space, direct
+/// control of every bit). Hidden from docs; exposed so downstream crates'
+/// tests can reuse it.
+#[doc(hidden)]
+pub mod tests_support {
+    use super::*;
+    use pagesim_mem::{EntropyClass, PTES_PER_LINE, PTES_PER_REGION};
+
+    /// A fake single-space memory with directly settable bits.
+    #[derive(Debug)]
+    pub struct FakeMem {
+        pages: u32,
+        resident: Vec<bool>,
+        accessed: Vec<bool>,
+        dirty: Vec<bool>,
+        file: Vec<bool>,
+        /// Counters so tests can assert on probe traffic.
+        pub rmap_probes: u64,
+        pub lines_scanned: u64,
+    }
+
+    impl FakeMem {
+        /// All pages non-resident initially.
+        pub fn new(pages: u32) -> Self {
+            FakeMem {
+                pages,
+                resident: vec![false; pages as usize],
+                accessed: vec![false; pages as usize],
+                dirty: vec![false; pages as usize],
+                file: vec![false; pages as usize],
+                rmap_probes: 0,
+                lines_scanned: 0,
+            }
+        }
+
+        pub fn set_resident(&mut self, k: PageKey, v: bool) {
+            self.resident[k as usize] = v;
+            if !v {
+                self.accessed[k as usize] = false;
+                self.dirty[k as usize] = false;
+            }
+        }
+
+        pub fn set_accessed(&mut self, k: PageKey, v: bool) {
+            self.accessed[k as usize] = v;
+        }
+
+        pub fn set_dirty(&mut self, k: PageKey, v: bool) {
+            self.dirty[k as usize] = v;
+        }
+
+        pub fn set_file_backed(&mut self, k: PageKey, v: bool) {
+            self.file[k as usize] = v;
+        }
+
+        pub fn accessed_bit(&self, k: PageKey) -> bool {
+            self.accessed[k as usize]
+        }
+    }
+
+    impl MemView for FakeMem {
+        fn total_pages(&self) -> u32 {
+            self.pages
+        }
+
+        fn page_info(&self, key: PageKey) -> PageInfo {
+            PageInfo {
+                as_id: AsId(0),
+                vpn: key,
+                file_backed: self.file[key as usize],
+                entropy: EntropyClass::Text,
+            }
+        }
+
+        fn is_resident(&self, key: PageKey) -> bool {
+            self.resident[key as usize]
+        }
+
+        fn is_dirty(&self, key: PageKey) -> bool {
+            self.dirty[key as usize]
+        }
+
+        fn rmap_test_clear_accessed(&mut self, key: PageKey) -> bool {
+            self.rmap_probes += 1;
+            std::mem::take(&mut self.accessed[key as usize])
+        }
+
+        fn scan_line(&mut self, _space: AsId, line: LineIdx, out: &mut Vec<PageKey>) -> u32 {
+            self.lines_scanned += 1;
+            let start = line * PTES_PER_LINE as u32;
+            let end = (start + PTES_PER_LINE as u32).min(self.pages);
+            for k in start..end {
+                if self.resident[k as usize] && std::mem::take(&mut self.accessed[k as usize]) {
+                    out.push(k);
+                }
+            }
+            end.saturating_sub(start)
+        }
+
+        fn key_at(&self, _space: AsId, vpn: Vpn) -> PageKey {
+            vpn
+        }
+
+        fn space_ids(&self) -> Vec<AsId> {
+            vec![AsId(0)]
+        }
+
+        fn region_count(&self, _space: AsId) -> u32 {
+            self.pages.div_ceil(PTES_PER_REGION as u32)
+        }
+
+        fn region_present_count(&self, _space: AsId, region: RegionIdx) -> u32 {
+            let start = region * PTES_PER_REGION as u32;
+            let end = (start + PTES_PER_REGION as u32).min(self.pages);
+            (start..end).filter(|&k| self.resident[k as usize]).count() as u32
+        }
+    }
+}

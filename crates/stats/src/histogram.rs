@@ -1,0 +1,275 @@
+//! Log-bucketed latency histogram.
+//!
+//! YCSB runs record one latency per request; at the paper's scale that is
+//! 110 million samples. Storing each sample to compute p99.99 would be
+//! wasteful, so we use an HDR-style histogram: logarithmic major buckets
+//! with linear sub-buckets, giving a bounded relative error (< 1/64 ≈ 1.6%
+//! by default) at any percentile with a few KiB of memory.
+
+
+
+const SUB_BUCKET_BITS: u32 = 6; // 64 linear sub-buckets per power of two
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// A fixed-memory histogram of `u64` latency samples (nanoseconds).
+///
+/// ```rust
+/// use pagesim_stats::LatencyHistogram;
+/// let mut h = LatencyHistogram::new();
+/// for v in [100u64, 200, 300, 400, 10_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// // p50 is within the histogram's relative error of 300
+/// let p50 = h.value_at_percentile(50.0);
+/// assert!((p50 as f64 - 300.0).abs() / 300.0 < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    // buckets[major][sub]: major = floor(log2(v)) - SUB_BUCKET_BITS clamped,
+    // flattened into one Vec.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const MAJORS: usize = 64 - SUB_BUCKET_BITS as usize; // value range up to 2^63
+
+impl LatencyHistogram {
+    /// Creates an empty histogram covering `1 ..= 2^63` nanoseconds.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; MAJORS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(value: u64) -> usize {
+        let v = value.max(1);
+        let msb = 63 - v.leading_zeros();
+        if msb < SUB_BUCKET_BITS {
+            // Values below 2^6 land in major 0 with exact resolution.
+            v as usize
+        } else {
+            let major = (msb - SUB_BUCKET_BITS + 1) as usize;
+            let shift = msb - SUB_BUCKET_BITS;
+            let sub = ((v >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+            major * SUB_BUCKETS + sub
+        }
+    }
+
+    /// Representative (upper-mid) value of bucket `idx`.
+    fn value_of(idx: usize) -> u64 {
+        let major = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if major == 0 {
+            sub
+        } else {
+            let shift = major as u32 + SUB_BUCKET_BITS - 1;
+            // bucket covers [base, base + 2^(shift) ), report midpoint
+            let base = (SUB_BUCKETS as u64 + sub) << (shift - SUB_BUCKET_BITS);
+            base + (1u64 << (shift - SUB_BUCKET_BITS)) / 2
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index_of(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded samples; 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Exact maximum recorded sample; 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded sample; 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The approximate value at percentile `p` (0–100), within the
+    /// histogram's relative error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        assert!(self.total > 0, "percentile of empty histogram");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if p >= 100.0 {
+            return self.max;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::value_of(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the tail profile the paper's figures use.
+    ///
+    /// Returns `(p, value)` pairs for p ∈ {50, 90, 99, 99.9, 99.99}.
+    pub fn tail_profile(&self) -> Vec<(f64, u64)> {
+        [50.0, 90.0, 99.0, 99.9, 99.99]
+            .iter()
+            .map(|&p| (p, self.value_at_percentile(p)))
+            .collect()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::percentile_sorted;
+
+    /// Exact percentile over raw samples, for cross-checking the histogram.
+    fn exact_percentile(samples: &mut [u64], p: f64) -> u64 {
+        samples.sort_unstable();
+        let xs: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        percentile_sorted(&xs, p) as u64
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=63u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.count(), 63);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        let mut raw = Vec::new();
+        let mut x = 1u64;
+        // Geometric sweep across 12 orders of magnitude.
+        while x < 1_000_000_000_000 {
+            h.record(x);
+            raw.push(x);
+            x = x * 21 / 20 + 1;
+        }
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
+            let approx = h.value_at_percentile(p) as f64;
+            let mut r = raw.clone();
+            let exact = exact_percentile(&mut r, p) as f64;
+            let err = (approx - exact).abs() / exact;
+            assert!(err < 0.05, "p{p}: approx {approx} exact {exact} err {err}");
+        }
+    }
+
+    #[test]
+    fn p100_is_exact_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(123_456_789);
+        h.record(7);
+        assert_eq!(h.value_at_percentile(100.0), 123_456_789);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 300);
+        assert_eq!(a.min(), 100);
+        assert!((a.mean() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_profile_is_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut v = 17u64;
+        for _ in 0..100_000 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record((v >> 40).max(1));
+        }
+        let prof = h.tail_profile();
+        for w in prof.windows(2) {
+            assert!(w[1].1 >= w[0].1, "profile not monotone: {prof:?}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        LatencyHistogram::new().value_at_percentile(50.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        // For any value, the representative value of its bucket must be
+        // within 1/64 relative error (plus rounding) of the value.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = LatencyHistogram::index_of(v);
+            let rep = LatencyHistogram::value_of(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 0.03 || v < 64, "v={v} rep={rep} err={err}");
+            v = v * 3 / 2 + 1;
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Ordinary least squares on one predictor.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Number of points.
+    pub n: usize,
+}
+
+/// Fits `y ≈ slope·x + intercept` by ordinary least squares.
+///
+/// The paper uses this to quantify the faults↔runtime relationship: r² over
+/// 0.98 on TPC-H, and essentially no correlation on PageRank (Fig. 2/5).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than 2 points.
+///
+/// ```rust
+/// use pagesim_stats::linear_regression;
+/// let r = linear_regression(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((r.slope - 2.0).abs() < 1e-12);
+/// assert!((r.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_regression(x: &[f64], y: &[f64]) -> Regression {
+    assert_eq!(x.len(), y.len(), "x/y length mismatch");
+    assert!(x.len() >= 2, "regression needs at least 2 points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    // Degenerate cases: a vertical or fully flat cloud has no meaningful fit.
+    let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let intercept = my - slope * mx;
+    let r_squared = if sxx > 0.0 && syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else if syy == 0.0 {
+        1.0 // all y identical: any horizontal line fits perfectly
+    } else {
+        0.0
+    };
+    Regression {
+        slope,
+        intercept,
+        r_squared,
+        n: x.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [5.0, 7.0, 9.0, 11.0];
+        let r = linear_regression(&x, &y);
+        assert!((r.slope - 2.0).abs() < 1e-12);
+        assert!((r.intercept - 5.0).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+        assert_eq!(r.n, 4);
+    }
+
+    #[test]
+    fn uncorrelated_cloud_has_low_r2() {
+        // Symmetric pattern with zero covariance.
+        let x = [1.0, 1.0, -1.0, -1.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let r = linear_regression(&x, &y);
+        assert!(r.r_squared.abs() < 1e-12);
+        assert_eq!(r.slope, 0.0);
+    }
+
+    #[test]
+    fn flat_y_is_perfect_horizontal_fit() {
+        let r = linear_regression(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.intercept, 4.0);
+        assert_eq!(r.r_squared, 1.0);
+    }
+
+    #[test]
+    fn constant_x_does_not_crash() {
+        let r = linear_regression(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.r_squared, 0.0);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut s = 1u64;
+        for i in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            x.push(i as f64);
+            y.push(3.0 * i as f64 + 10.0 + noise);
+        }
+        let r = linear_regression(&x, &y);
+        assert!((r.slope - 3.0).abs() < 0.01, "slope {}", r.slope);
+        assert!(r.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        linear_regression(&[1.0], &[1.0, 2.0]);
+    }
+}

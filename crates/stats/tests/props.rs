@@ -1,0 +1,108 @@
+//! Property tests for the statistics toolkit.
+
+use proptest::prelude::*;
+
+use pagesim_stats::{linear_regression, percentile, welch_t_test, LatencyHistogram, Summary};
+
+fn naive_percentile(xs: &[f64], p: f64) -> f64 {
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = p / 100.0 * (s.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    s[lo] + (s[hi] - s[lo]) * (rank - lo as f64)
+}
+
+proptest! {
+    /// `percentile` matches an independent naive implementation.
+    #[test]
+    fn percentile_matches_naive(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..200),
+        p in 0.0f64..100.0,
+    ) {
+        let a = percentile(&xs, p);
+        let b = naive_percentile(&xs, p);
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+    }
+
+    /// Summary invariants hold for any sample.
+    #[test]
+    fn summary_orderings(xs in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std >= 0.0);
+    }
+
+    /// The histogram's percentile error is bounded by its bucket geometry
+    /// for any sample set.
+    #[test]
+    fn histogram_error_is_bounded(samples in prop::collection::vec(1u64..1_000_000_000, 10..500)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let approx = h.value_at_percentile(p) as f64;
+            let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            let exact = sorted[idx] as f64;
+            // 1/64 bucket resolution plus one-rank slack.
+            let slack = exact * 0.04
+                + (sorted[(idx + 1).min(sorted.len() - 1)] - sorted[idx.saturating_sub(1)]) as f64;
+            prop_assert!(
+                (approx - exact).abs() <= slack + 1.0,
+                "p{p}: approx {approx} exact {exact}"
+            );
+        }
+        prop_assert_eq!(h.count() as usize, samples.len());
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.min(), sorted[0]);
+    }
+
+    /// Welch's t-test is symmetric and produces a valid p-value.
+    #[test]
+    fn welch_is_symmetric(
+        a in prop::collection::vec(-100f64..100.0, 2..40),
+        b in prop::collection::vec(-100f64..100.0, 2..40),
+    ) {
+        let ab = welch_t_test(&a, &b);
+        let ba = welch_t_test(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert!((ab.t + ba.t).abs() < 1e-9);
+    }
+
+    /// Shifting one sample away always shrinks the p-value (more evidence
+    /// of difference).
+    #[test]
+    fn welch_p_shrinks_with_separation(base in prop::collection::vec(0f64..10.0, 5..30)) {
+        prop_assume!(Summary::of(&base).std > 1e-6);
+        let near: Vec<f64> = base.iter().map(|x| x + 0.1).collect();
+        let far: Vec<f64> = base.iter().map(|x| x + 100.0).collect();
+        let p_near = welch_t_test(&base, &near).p_value;
+        let p_far = welch_t_test(&base, &far).p_value;
+        prop_assert!(p_far <= p_near + 1e-12);
+        prop_assert!(p_far < 1e-6);
+    }
+
+    /// Regression recovers exact affine relationships and r² stays in
+    /// [0, 1] on noisy ones.
+    #[test]
+    fn regression_recovers_affine(
+        xs in prop::collection::vec(-1000f64..1000.0, 3..100),
+        slope in -100f64..100.0,
+        intercept in -100f64..100.0,
+    ) {
+        let spread = Summary::of(&xs).std;
+        prop_assume!(spread > 1e-3);
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let r = linear_regression(&xs, &ys);
+        prop_assert!((r.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()) + 1e-6);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r.r_squared));
+    }
+}

@@ -1,0 +1,97 @@
+//! Swap-slot allocation.
+
+/// Identifies a 4 KiB slot on a swap device.
+pub type SwapSlot = u32;
+
+/// A free-list slot allocator.
+///
+/// Slots are recycled LIFO so long runs keep hitting the same device
+/// region, and allocation is O(1).
+///
+/// ```rust
+/// use pagesim_swap::SlotAllocator;
+/// let mut a = SlotAllocator::new();
+/// let s0 = a.allocate();
+/// let s1 = a.allocate();
+/// assert_ne!(s0, s1);
+/// a.release(s0);
+/// assert_eq!(a.allocate(), s0); // recycled
+/// ```
+#[derive(Debug, Default)]
+pub struct SlotAllocator {
+    next_fresh: SwapSlot,
+    free: Vec<SwapSlot>,
+    live: u64,
+}
+
+impl SlotAllocator {
+    /// Creates an empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a slot.
+    pub fn allocate(&mut self) -> SwapSlot {
+        self.live += 1;
+        if let Some(s) = self.free.pop() {
+            s
+        } else {
+            let s = self.next_fresh;
+            self.next_fresh += 1;
+            s
+        }
+    }
+
+    /// Releases a slot for reuse.
+    pub fn release(&mut self, slot: SwapSlot) {
+        debug_assert!(slot < self.next_fresh, "releasing unallocated slot");
+        self.live -= 1;
+        self.free.push(slot);
+    }
+
+    /// Slots currently in use.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// High-water mark of distinct slots ever allocated.
+    pub fn high_water(&self) -> u32 {
+        self.next_fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_slots_are_sequential() {
+        let mut a = SlotAllocator::new();
+        assert_eq!(a.allocate(), 0);
+        assert_eq!(a.allocate(), 1);
+        assert_eq!(a.allocate(), 2);
+        assert_eq!(a.live(), 3);
+        assert_eq!(a.high_water(), 3);
+    }
+
+    #[test]
+    fn release_recycles_lifo() {
+        let mut a = SlotAllocator::new();
+        let s0 = a.allocate();
+        let s1 = a.allocate();
+        a.release(s0);
+        a.release(s1);
+        assert_eq!(a.allocate(), s1);
+        assert_eq!(a.allocate(), s0);
+        assert_eq!(a.high_water(), 2);
+    }
+
+    #[test]
+    fn live_count_tracks() {
+        let mut a = SlotAllocator::new();
+        let s = a.allocate();
+        assert_eq!(a.live(), 1);
+        a.release(s);
+        assert_eq!(a.live(), 0);
+    }
+}

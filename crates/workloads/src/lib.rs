@@ -1,0 +1,158 @@
+//! # pagesim-workloads
+//!
+//! The memory-intensive workloads of the paper's methodology (§IV),
+//! rebuilt as deterministic page-access generators:
+//!
+//! * [`tpch::TpchWorkload`] — Spark-SQL-style TPC-H: highly parallel
+//!   stages of balanced tasks (scan → hash-join probe → shuffle write)
+//!   separated by barriers. Regular access patterns; runtime is
+//!   fault-dominated under pressure, giving the paper's linear
+//!   faults↔runtime relationship.
+//! * [`pagerank::PageRankWorkload`] — GAP-style PageRank over a synthetic
+//!   power-law graph: per-vertex work proportional to degree, dynamic
+//!   chunk scheduling, a barrier per iteration. A few high-degree
+//!   stragglers decide iteration time, decoupling runtime from the total
+//!   fault count.
+//! * [`ycsb::YcsbWorkload`] — YCSB A/B/C over the
+//!   [`pagesim-kv`](pagesim_kv) store: scrambled-zipfian item popularity,
+//!   50/5/0 % update mixes, per-request latency markers for tail CDFs.
+//! * [`buffered::BufferedIoWorkload`] — a buffered-I/O reader that
+//!   exercises MG-LRU's file tiers and PID controller (the machinery the
+//!   paper describes in §III-D but leaves unstressed).
+//!
+//! A workload describes its address spaces ([`SpaceSpec`]) and yields one
+//! [`AccessStream`] per simulated thread; the kernel executes the streams'
+//! [`Op`]s. All randomness derives from the trial seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffered;
+pub mod graph;
+pub mod pagerank;
+pub mod tpch;
+pub mod ycsb;
+pub mod zipf;
+
+use pagesim_mem::{AsId, EntropyClass, Vpn};
+
+/// Latency class of a request (YCSB reports read and write tails
+/// separately).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqClass {
+    /// GET-style request.
+    Read,
+    /// UPDATE-style request.
+    Write,
+}
+
+/// One instruction from a workload thread to the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Spend `cpu_ns` of compute, then touch a page through the MMU
+    /// (sets the PTE accessed bit; faults if not resident).
+    Access {
+        /// Address space.
+        space: AsId,
+        /// Page touched.
+        vpn: Vpn,
+        /// Store (sets the dirty bit) vs. load.
+        write: bool,
+        /// Compute preceding the touch.
+        cpu_ns: u32,
+    },
+    /// Touch a file-backed page through a file descriptor: the kernel
+    /// routes it to the page cache, so the PTE accessed bit is *not* set;
+    /// MG-LRU sees it only as a tier bump.
+    FdAccess {
+        /// Address space.
+        space: AsId,
+        /// Page touched.
+        vpn: Vpn,
+        /// Whether the access dirties the page.
+        write: bool,
+        /// Compute preceding the touch.
+        cpu_ns: u32,
+    },
+    /// Pure compute.
+    Compute {
+        /// Nanoseconds of CPU work.
+        cpu_ns: u64,
+    },
+    /// Arrive at workload barrier `id` (block until all parties arrive).
+    Barrier {
+        /// Barrier index into [`Workload::barriers`].
+        id: usize,
+    },
+    /// Begin a latency-tracked request.
+    RequestStart {
+        /// Read or write tail bucket.
+        class: ReqClass,
+        /// Requests issued during warmup are excluded from tail stats.
+        warmup: bool,
+    },
+    /// Complete the current request (latency = now − start).
+    RequestEnd,
+    /// The thread is finished.
+    Done,
+}
+
+/// A contiguous attribute annotation within a space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Annotation {
+    /// First page of the range.
+    pub start: Vpn,
+    /// Pages in the range.
+    pub count: u32,
+    /// Content class (drives ZRAM compression).
+    pub entropy: EntropyClass,
+    /// Whether accesses to this range are file-backed.
+    pub file_backed: bool,
+}
+
+/// Description of one address space a workload needs.
+#[derive(Clone, Debug)]
+pub struct SpaceSpec {
+    /// Total pages.
+    pub pages: u32,
+    /// Attribute annotations (non-overlapping).
+    pub annotations: Vec<Annotation>,
+}
+
+/// A deterministic generator of [`Op`]s for one simulated thread.
+pub trait AccessStream {
+    /// The next operation. After returning [`Op::Done`] it must keep
+    /// returning `Done`.
+    fn next_op(&mut self) -> Op;
+}
+
+/// A workload: address-space layout plus one stream per thread.
+pub trait Workload {
+    /// Short name for reports ("tpch", "pagerank", "ycsb-a", ...).
+    fn name(&self) -> String;
+
+    /// Address spaces to create (index = `AsId`).
+    fn spaces(&self) -> Vec<SpaceSpec>;
+
+    /// Barrier party counts; stream `Op::Barrier { id }` indexes this.
+    fn barriers(&self) -> Vec<usize>;
+
+    /// One access stream per simulated thread, randomized by `seed`.
+    fn streams(&self, seed: u64) -> Vec<Box<dyn AccessStream>>;
+
+    /// Total footprint in pages (for capacity-ratio configuration).
+    fn footprint_pages(&self) -> u32 {
+        self.spaces().iter().map(|s| s.pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_small() {
+        // The simulator moves millions of these; keep them register-sized.
+        assert!(std::mem::size_of::<Op>() <= 24);
+    }
+}

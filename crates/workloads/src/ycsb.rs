@@ -1,0 +1,347 @@
+//! YCSB A/B/C over the memcached-like KV store.
+//!
+//! The paper serves YCSB core workloads from Memcached (4 server threads)
+//! and reports read/write tail latencies. We model the measurement loop
+//! the same way YCSB's default closed-loop clients drive it: each server
+//! thread continuously serves requests — zipfian-popular items, an
+//! update share of 50 % (A), 5 % (B) or 0 % (C) — and the simulator
+//! timestamps [`Op::RequestStart`]/[`Op::RequestEnd`] pairs to build the
+//! latency CDFs. Under memory pressure a request's latency is dominated by
+//! the page faults its bucket/item touches incur, which is precisely the
+//! tail mechanism §V-A/§V-D analyses.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use pagesim_engine::rng::derive_seed;
+use pagesim_kv::{KvConfig, KvStore};
+use pagesim_mem::{AsId, EntropyClass};
+
+use crate::zipf::ScrambledZipfian;
+use crate::{AccessStream, Annotation, Op, ReqClass, SpaceSpec, Workload};
+
+/// Which YCSB core workload to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbMix {
+    /// 50 % reads / 50 % updates.
+    A,
+    /// 95 % reads / 5 % updates.
+    B,
+    /// 100 % reads.
+    C,
+}
+
+impl YcsbMix {
+    /// Update fraction of the mix.
+    pub fn update_fraction(self) -> f64 {
+        match self {
+            YcsbMix::A => 0.5,
+            YcsbMix::B => 0.05,
+            YcsbMix::C => 0.0,
+        }
+    }
+
+    /// Workload letter.
+    pub fn letter(self) -> char {
+        match self {
+            YcsbMix::A => 'a',
+            YcsbMix::B => 'b',
+            YcsbMix::C => 'c',
+        }
+    }
+}
+
+/// Configuration of the YCSB workload.
+#[derive(Clone, Copy, Debug)]
+pub struct YcsbConfig {
+    /// Which mix (A/B/C).
+    pub mix: YcsbMix,
+    /// Server threads (memcached default: 4).
+    pub threads: usize,
+    /// Items loaded into the store.
+    pub items: u32,
+    /// Value size in bytes.
+    pub value_size: u32,
+    /// Requests to serve across all threads.
+    pub requests: u64,
+    /// Leading fraction of requests marked as warmup (excluded from tail
+    /// statistics; plays the role of the paper's load phase).
+    pub warmup_fraction: f64,
+}
+
+impl YcsbConfig {
+    /// Paper-proportioned defaults for a given mix: ~10 requests per item.
+    pub fn with_mix(mix: YcsbMix) -> Self {
+        YcsbConfig {
+            mix,
+            threads: 4,
+            items: 40_000,
+            value_size: 1_200,
+            requests: 400_000,
+            warmup_fraction: 0.05,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny(mix: YcsbMix) -> Self {
+        YcsbConfig {
+            mix,
+            threads: 2,
+            items: 2_000,
+            value_size: 1_200,
+            requests: 4_000,
+            warmup_fraction: 0.1,
+        }
+    }
+}
+
+/// The YCSB workload (see module docs).
+#[derive(Clone, Debug)]
+pub struct YcsbWorkload {
+    cfg: YcsbConfig,
+    store: Arc<KvStore>,
+}
+
+impl YcsbWorkload {
+    /// Builds the store (deterministic in `store_seed`) and the workload.
+    pub fn new(cfg: YcsbConfig, store_seed: u64) -> Self {
+        assert!(cfg.threads > 0 && cfg.requests > 0);
+        assert!((0.0..1.0).contains(&cfg.warmup_fraction));
+        let store = KvStore::build(KvConfig {
+            items: cfg.items,
+            value_size: cfg.value_size,
+            load_factor: 1.0,
+            seed: store_seed,
+        });
+        YcsbWorkload {
+            cfg,
+            store: Arc::new(store),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &KvStore {
+        &self.store
+    }
+}
+
+impl Workload for YcsbWorkload {
+    fn name(&self) -> String {
+        format!("ycsb-{}", self.cfg.mix.letter())
+    }
+
+    fn spaces(&self) -> Vec<SpaceSpec> {
+        vec![SpaceSpec {
+            pages: self.store.total_pages(),
+            annotations: vec![
+                Annotation {
+                    start: 0,
+                    count: self.store.bucket_pages(),
+                    entropy: EntropyClass::Structured,
+                    file_backed: false,
+                },
+                Annotation {
+                    start: self.store.bucket_pages(),
+                    count: self.store.total_pages() - self.store.bucket_pages(),
+                    entropy: EntropyClass::Text,
+                    file_backed: false,
+                },
+            ],
+        }]
+    }
+
+    fn barriers(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn streams(&self, seed: u64) -> Vec<Box<dyn AccessStream>> {
+        let per_thread = self.cfg.requests / self.cfg.threads as u64;
+        (0..self.cfg.threads)
+            .map(|t| {
+                let s = derive_seed(seed, &format!("ycsb-{t}"));
+                Box::new(YcsbStream {
+                    cfg: self.cfg,
+                    store: Arc::clone(&self.store),
+                    zipf: ScrambledZipfian::new(self.cfg.items as u64, s),
+                    rng: SmallRng::seed_from_u64(s ^ 0xFACE),
+                    remaining: per_thread,
+                    total: per_thread,
+                    buf: VecDeque::new(),
+                }) as Box<dyn AccessStream>
+            })
+            .collect()
+    }
+}
+
+/// One server thread: a closed loop of zipfian requests.
+struct YcsbStream {
+    cfg: YcsbConfig,
+    store: Arc<KvStore>,
+    zipf: ScrambledZipfian,
+    rng: SmallRng,
+    remaining: u64,
+    total: u64,
+    buf: VecDeque<Op>,
+}
+
+impl AccessStream for YcsbStream {
+    fn next_op(&mut self) -> Op {
+        loop {
+            if let Some(op) = self.buf.pop_front() {
+                return op;
+            }
+            if self.remaining == 0 {
+                return Op::Done;
+            }
+            let served = self.total - self.remaining;
+            let warmup =
+                (served as f64) < self.cfg.warmup_fraction * self.total as f64;
+            self.remaining -= 1;
+
+            let item = self.zipf.next_item() as u32;
+            let is_update = self.rng.random_bool(self.cfg.mix.update_fraction());
+            let plan = if is_update {
+                self.store.update_plan(item)
+            } else {
+                self.store.get_plan(item)
+            };
+            let class = if is_update {
+                ReqClass::Write
+            } else {
+                ReqClass::Read
+            };
+            self.buf.push_back(Op::RequestStart { class, warmup });
+            let n = plan.touches.len() as u64;
+            for t in plan.touches {
+                self.buf.push_back(Op::Access {
+                    space: AsId(0),
+                    vpn: t.vpn,
+                    write: t.write,
+                    cpu_ns: (plan.cpu_ns / n) as u32,
+                });
+            }
+            self.buf.push_back(Op::RequestEnd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(stream: &mut dyn AccessStream) -> Vec<Op> {
+        let mut ops = Vec::new();
+        loop {
+            match stream.next_op() {
+                Op::Done => break,
+                op => ops.push(op),
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn request_markers_are_paired() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::B), 1);
+        let ops = drain(w.streams(2)[0].as_mut());
+        let mut depth = 0i32;
+        let mut count = 0;
+        for op in &ops {
+            match op {
+                Op::RequestStart { .. } => {
+                    depth += 1;
+                    count += 1;
+                    assert_eq!(depth, 1, "requests must not nest");
+                }
+                Op::RequestEnd => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(count, 2_000, "requests / threads");
+    }
+
+    #[test]
+    fn mix_c_has_no_writes() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::C), 1);
+        for op in drain(w.streams(3)[0].as_mut()) {
+            match op {
+                Op::Access { write, .. } => assert!(!write),
+                Op::RequestStart { class, .. } => assert_eq!(class, ReqClass::Read),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn mix_a_is_half_writes() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::A), 1);
+        let ops = drain(w.streams(4)[0].as_mut());
+        let (mut reads, mut writes) = (0u32, 0u32);
+        for op in &ops {
+            if let Op::RequestStart { class, .. } = op {
+                match class {
+                    ReqClass::Read => reads += 1,
+                    ReqClass::Write => writes += 1,
+                }
+            }
+        }
+        let frac = writes as f64 / (reads + writes) as f64;
+        assert!((0.45..0.55).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn warmup_marks_leading_requests_only() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::B), 1);
+        let ops = drain(w.streams(5)[0].as_mut());
+        let warmups: Vec<bool> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::RequestStart { warmup, .. } => Some(*warmup),
+                _ => None,
+            })
+            .collect();
+        let boundary = warmups.iter().position(|w| !w).unwrap();
+        assert_eq!(boundary, 200, "10% of 2000 requests warm up");
+        assert!(warmups[boundary..].iter().all(|w| !w));
+    }
+
+    #[test]
+    fn popularity_is_skewed_across_item_pages() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::C), 1);
+        let bucket_pages = w.store().bucket_pages();
+        let mut counts = std::collections::HashMap::new();
+        for op in drain(w.streams(6)[0].as_mut()) {
+            if let Op::Access { vpn, .. } = op {
+                if vpn >= bucket_pages {
+                    *counts.entry(vpn).or_insert(0u32) += 1;
+                }
+            }
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+        let top: u32 = freqs.iter().take(10).sum();
+        let total: u32 = freqs.iter().sum();
+        assert!(
+            top as f64 > 0.2 * total as f64,
+            "zipfian hot pages missing: top10 {top}/{total}"
+        );
+    }
+
+    #[test]
+    fn name_includes_mix() {
+        assert_eq!(
+            YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::A), 1).name(),
+            "ycsb-a"
+        );
+    }
+
+    #[test]
+    fn footprint_matches_store() {
+        let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::B), 1);
+        assert_eq!(w.footprint_pages(), w.store().total_pages());
+    }
+}

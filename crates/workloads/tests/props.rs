@@ -1,0 +1,103 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+
+use pagesim_workloads::graph::PowerLawGraph;
+use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
+use pagesim_workloads::zipf::{ScrambledZipfian, Zipfian};
+use pagesim_workloads::{Op, Workload};
+
+proptest! {
+    /// Zipfian draws stay in range and heavily favour low ranks for any
+    /// domain size and seed.
+    #[test]
+    fn zipf_in_range_and_skewed(n in 10u64..50_000, seed in any::<u64>()) {
+        let mut z = Zipfian::new(n, 0.99, seed);
+        let mut low = 0u32;
+        for _ in 0..2_000 {
+            let r = z.next_rank();
+            prop_assert!(r < n);
+            if r < n / 10 {
+                low += 1;
+            }
+        }
+        // The bottom 10% of ranks must take far more than 10% of draws.
+        prop_assert!(low > 600, "only {low}/2000 draws in the hot decile");
+    }
+
+    /// Scrambled zipfian stays in range for any seed.
+    #[test]
+    fn scrambled_zipf_in_range(n in 1u64..100_000, seed in any::<u64>()) {
+        let mut s = ScrambledZipfian::new(n, seed);
+        for _ in 0..200 {
+            prop_assert!(s.next_item() < n);
+        }
+    }
+
+    /// Graph construction invariants hold across the parameter space.
+    #[test]
+    fn graph_structure_is_sound(
+        vertices in 2u32..5_000,
+        edges in 10u64..100_000,
+        skew in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let g = PowerLawGraph::new(vertices, edges, skew, seed);
+        prop_assert!(g.edges() >= vertices as u64, "every vertex has >= 1 edge");
+        // offsets are a prefix sum of degrees
+        let mut acc = 0u64;
+        for v in 0..vertices {
+            prop_assert_eq!(g.edge_offset(v), acc);
+            acc += g.degree(v) as u64;
+        }
+        prop_assert_eq!(acc, g.edges());
+        // sampled neighbors are valid vertices
+        for v in (0..vertices).step_by((vertices as usize / 17).max(1)) {
+            for i in (0..g.degree(v)).step_by(7).take(8) {
+                prop_assert!(g.neighbor(v, i) < vertices);
+            }
+        }
+    }
+
+    /// TPC-H streams terminate and never touch outside the declared
+    /// footprint, for any seed.
+    #[test]
+    fn tpch_streams_bounded(seed in any::<u64>()) {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let total = w.footprint_pages();
+        for mut s in w.streams(seed) {
+            let mut n = 0u64;
+            loop {
+                match s.next_op() {
+                    Op::Done => break,
+                    Op::Access { vpn, .. } | Op::FdAccess { vpn, .. } => {
+                        prop_assert!(vpn < total, "vpn {vpn} out of bounds");
+                    }
+                    _ => {}
+                }
+                n += 1;
+                prop_assert!(n < 3_000_000, "stream does not terminate");
+            }
+        }
+    }
+
+    /// YCSB request volume is exact for any seed and mix.
+    #[test]
+    fn ycsb_request_counts_exact(seed in any::<u64>(), mix in 0u8..3) {
+        let mix = [YcsbMix::A, YcsbMix::B, YcsbMix::C][mix as usize];
+        let cfg = YcsbConfig::tiny(mix);
+        let w = YcsbWorkload::new(cfg, 9);
+        let mut total = 0u64;
+        for mut s in w.streams(seed) {
+            loop {
+                match s.next_op() {
+                    Op::Done => break,
+                    Op::RequestStart { .. } => total += 1,
+                    _ => {}
+                }
+            }
+        }
+        prop_assert_eq!(total, cfg.requests / cfg.threads as u64 * cfg.threads as u64);
+    }
+}

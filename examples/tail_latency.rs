@@ -1,0 +1,43 @@
+//! YCSB tail latencies across policies and swap media (Fig. 3 vs Fig. 12).
+//!
+//! The paper's most striking inversion: with SSD swap MG-LRU trades read
+//! tails for write tails, but with ZRAM swap Clock strictly wins the
+//! tails. This example reproduces both cells for YCSB-B.
+//!
+//! ```sh
+//! cargo run --release --example tail_latency
+//! ```
+
+use pagesim::{Experiment, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
+
+fn main() {
+    let mut cfg = YcsbConfig::with_mix(YcsbMix::B);
+    cfg.items /= 2;
+    cfg.requests /= 2;
+    let workload = YcsbWorkload::new(cfg, 42);
+
+    for swap in [SwapChoice::Ssd, SwapChoice::Zram] {
+        println!("== swap medium: {} ==", swap.label());
+        for policy in [PolicyChoice::Clock, PolicyChoice::MgLruDefault] {
+            let config = SystemConfig::new(policy, swap).capacity_ratio(0.5);
+            let set = Experiment::new(config).run_trials(&workload, 3, 5);
+            let reads = set.merged_read_latency();
+            let writes = set.merged_write_latency();
+            println!("  {}:", policy.label());
+            print!("    reads  ");
+            for (p, v) in reads.tail_profile() {
+                print!("p{p}: {}  ", pagesim::report::latency(v));
+            }
+            println!();
+            if writes.count() > 0 {
+                print!("    writes ");
+                for (p, v) in writes.tail_profile() {
+                    print!("p{p}: {}  ", pagesim::report::latency(v));
+                }
+                println!();
+            }
+        }
+        println!();
+    }
+}

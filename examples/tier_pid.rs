@@ -1,0 +1,44 @@
+//! Exercise MG-LRU's file-page tiers and PID refault controller — the
+//! machinery the paper describes in §III-D but leaves unstressed because
+//! its workloads do little buffered I/O.
+//!
+//! The buffered-I/O workload streams a large file while re-reading a hot
+//! subset through file descriptors. With the PID controller, refaults on
+//! the hot subset push its tier's refault rate above the base tier's and
+//! eviction starts protecting it; with the controller effectively
+//! disabled (zero gains), the streaming pass keeps flushing the hot set.
+//!
+//! ```sh
+//! cargo run --release --example tier_pid
+//! ```
+
+use pagesim::{Experiment, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim_policy::MgLruConfig;
+use pagesim_workloads::buffered::{BufferedIoConfig, BufferedIoWorkload};
+
+fn main() {
+    let workload = BufferedIoWorkload::new(BufferedIoConfig::default());
+
+    let with_pid = PolicyChoice::MgLruCustom(MgLruConfig::kernel_default());
+    let without_pid = PolicyChoice::MgLruCustom(MgLruConfig {
+        pid_gains: (0.0, 0.0, 0.0), // controller output pinned at 0: no tier protection
+        ..MgLruConfig::kernel_default()
+    });
+
+    for (label, policy) in [("pid on", with_pid), ("pid off", without_pid)] {
+        let config = SystemConfig::new(policy, SwapChoice::Ssd).capacity_ratio(0.5);
+        let set = Experiment::new(config).run_trials(&workload, 21, 5);
+        let rt = set.runtime_summary();
+        let faults = set.fault_summary();
+        let protected: u64 = set.runs.iter().map(|r| r.policy.tier_protected).sum();
+        println!(
+            "{label:8} runtime {:.2}s ± {:.2}  faults {:>8.0}  tier-protected pages {}",
+            rt.mean, rt.std, faults.mean, protected
+        );
+    }
+    println!(
+        "\nWith the controller on, hot fd-read pages are held in protected\n\
+         tiers and survive the streaming pass (fewer faults, non-zero\n\
+         protected count)."
+    );
+}

@@ -1,0 +1,79 @@
+//! Cross-crate determinism: a run is a pure function of (config, seed).
+//! The paper's methodology (25 executions per cell) only makes sense if
+//! trial-to-trial variation comes from the modeled sources, not from
+//! incidental nondeterminism in the simulator.
+
+use pagesim::{Experiment, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim_workloads::pagerank::{PageRankConfig, PageRankWorkload};
+use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
+use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
+use pagesim_workloads::Workload;
+
+fn config(policy: PolicyChoice, swap: SwapChoice) -> SystemConfig {
+    SystemConfig::new(policy, swap).capacity_ratio(0.5).cores(4)
+}
+
+fn assert_deterministic(w: &(dyn Workload + Sync), policy: PolicyChoice, swap: SwapChoice) {
+    let e = Experiment::new(config(policy, swap));
+    let a = e.run(w, 99);
+    let b = e.run(w, 99);
+    assert_eq!(a.runtime_ns, b.runtime_ns, "{} runtime", policy.label());
+    assert_eq!(a.major_faults, b.major_faults);
+    assert_eq!(a.minor_faults, b.minor_faults);
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.policy, b.policy, "policy counters must replay exactly");
+    assert_eq!(
+        a.read_latency.count(),
+        b.read_latency.count(),
+        "request accounting must replay"
+    );
+}
+
+#[test]
+fn tpch_replays_bit_exact() {
+    let w = TpchWorkload::new(TpchConfig::tiny());
+    for policy in [
+        PolicyChoice::Clock,
+        PolicyChoice::MgLruDefault,
+        PolicyChoice::MgLruScanRand,
+    ] {
+        assert_deterministic(&w, policy, SwapChoice::Zram);
+    }
+}
+
+#[test]
+fn pagerank_replays_bit_exact_on_both_media() {
+    let w = PageRankWorkload::new(PageRankConfig::tiny(), 5);
+    assert_deterministic(&w, PolicyChoice::MgLruDefault, SwapChoice::Ssd);
+    assert_deterministic(&w, PolicyChoice::Clock, SwapChoice::Zram);
+}
+
+#[test]
+fn ycsb_replays_bit_exact() {
+    let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::A), 5);
+    assert_deterministic(&w, PolicyChoice::MgLruDefault, SwapChoice::Zram);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let w = TpchWorkload::new(TpchConfig::tiny());
+    let e = Experiment::new(config(PolicyChoice::MgLruDefault, SwapChoice::Zram));
+    let a = e.run(&w, 1);
+    let b = e.run(&w, 2);
+    assert!(
+        a.runtime_ns != b.runtime_ns || a.major_faults != b.major_faults,
+        "seed must matter"
+    );
+}
+
+#[test]
+fn trial_sets_are_order_independent() {
+    // run_trials may execute trials on worker threads; results must land
+    // by trial index regardless of completion order.
+    let w = TpchWorkload::new(TpchConfig::tiny());
+    let e = Experiment::new(config(PolicyChoice::Clock, SwapChoice::Zram));
+    let a = e.run_trials(&w, 7, 4);
+    let b = e.run_trials(&w, 7, 4);
+    assert_eq!(a.runtimes(), b.runtimes());
+    assert_eq!(a.faults(), b.faults());
+}

@@ -1,0 +1,73 @@
+//! Tests of the figure harness itself: cell caching, figure structure,
+//! and cross-figure consistency.
+
+use pagesim::experiments::{fig1, fig10, fig2, fig4, fig9, Bench, Scale, Wl};
+use pagesim::{PolicyChoice, SwapChoice};
+
+fn tiny_bench() -> Bench {
+    Bench::new(Scale {
+        trials: 2,
+        footprint: 0.12,
+        seed: 7,
+    })
+}
+
+#[test]
+fn cells_are_cached_across_figures() {
+    let b = tiny_bench();
+    // fig1 and fig2 share the (tpch, clock, ssd, 50%) cell: the second
+    // call must return the identical Arc.
+    let a = b.cell(Wl::Tpch, PolicyChoice::Clock, SwapChoice::Ssd, 0.5);
+    let c = b.cell(Wl::Tpch, PolicyChoice::Clock, SwapChoice::Ssd, 0.5);
+    assert!(std::sync::Arc::ptr_eq(&a, &c), "cache miss on identical cell");
+    // A different ratio is a different cell.
+    let d = b.cell(Wl::Tpch, PolicyChoice::Clock, SwapChoice::Ssd, 0.75);
+    assert!(!std::sync::Arc::ptr_eq(&a, &d));
+}
+
+#[test]
+fn figures_cover_their_declared_grids() {
+    let b = tiny_bench();
+    let f1 = fig1(&b);
+    assert_eq!(f1.rows.len(), 5, "fig1: one row per workload");
+    let f2 = fig2(&b);
+    assert_eq!(f2.cells.len(), 4, "fig2: 2 workloads x 2 policies");
+    for c in &f2.cells {
+        assert_eq!(c.points.len(), 2, "one point per trial");
+    }
+    let f4 = fig4(&b);
+    assert_eq!(f4.rows.len(), 25, "fig4: 5 workloads x 5 variants");
+    // The baseline rows are exactly 1.0 by construction.
+    for wl in Wl::all() {
+        let base = f4.perf(wl, PolicyChoice::MgLruDefault).unwrap();
+        assert!((base - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fig9_and_fig10_share_cells_and_baselines() {
+    let b = tiny_bench();
+    let f9 = fig9(&b);
+    let f10 = fig10(&b);
+    assert_eq!(f9.rows.len(), 30);
+    assert_eq!(f10.rows.len(), 30);
+    for wl in Wl::all() {
+        assert!((f9.norm(wl, PolicyChoice::MgLruDefault).unwrap() - 1.0).abs() < 1e-12);
+        assert!((f10.norm(wl, PolicyChoice::MgLruDefault).unwrap() - 1.0).abs() < 1e-12);
+        // values are sane positives
+        assert!(f9.norm(wl, PolicyChoice::Clock).unwrap() > 0.0);
+        assert!(f10.norm(wl, PolicyChoice::Clock).unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn figure_displays_render_tables() {
+    let b = tiny_bench();
+    let s = fig1(&b).to_string();
+    assert!(s.contains("Fig 1"));
+    assert!(s.contains("tpch"));
+    assert!(s.contains("pagerank"));
+    let s = fig2(&b).to_string();
+    assert!(s.contains("r2"));
+    assert!(s.contains("points"));
+}
