@@ -1,7 +1,7 @@
 //! `repro` — regenerates every figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|default|paper] [--seed N] [fig1 fig2 ... | all]
+//! repro [--scale smoke|default|paper] [--seed N] [fig1 fig2 ... | faults | all]
 //! ```
 //!
 //! Each subcommand prints the same normalized series the corresponding
@@ -11,7 +11,7 @@ use pagesim::experiments::{self, Bench, Scale, Wl};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale smoke|default|paper] [--seed N] [fig1..fig12 | all]\n\
+        "usage: repro [--scale smoke|default|paper] [--seed N] [fig1..fig12 | faults | all]\n\
          \n\
          fig1   mean runtime & faults, MG-LRU vs Clock (SSD, 50%)\n\
          fig2   joint runtime/fault distributions, Clock vs MG-LRU\n\
@@ -24,7 +24,8 @@ fn usage() -> ! {
          fig9   ZRAM mean performance\n\
          fig10  ZRAM mean faults\n\
          fig11  ZRAM vs SSD runtime/fault deltas\n\
-         fig12  YCSB tails under ZRAM"
+         fig12  YCSB tails under ZRAM\n\
+         faults Clock vs MG-LRU on a stalling SSD (not part of 'all')"
     );
     std::process::exit(2)
 }
@@ -85,6 +86,7 @@ fn main() {
             "fig10" => experiments::fig10(&bench).to_string(),
             "fig11" => experiments::fig11(&bench).to_string(),
             "fig12" => experiments::fig12(&bench).to_string(),
+            "faults" => experiments::faults(&bench).to_string(),
             _ => usage(),
         };
         println!("{body}");

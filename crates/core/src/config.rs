@@ -1,7 +1,79 @@
 //! System configuration: the experimental axes of the paper.
 
-use pagesim_engine::{Nanos, MILLISECOND, SECOND};
+use pagesim_engine::faults::{FaultPlan, PressureStep, StallPlan};
+use pagesim_engine::{Nanos, MICROSECOND, MILLISECOND, SECOND};
 use pagesim_policy::{CostModel, MgLruConfig};
+
+/// Fault-model configuration: what goes wrong and how the kernel reacts.
+///
+/// The default ([`FaultConfig::none`]) injects nothing and disables the
+/// OOM killer, guaranteeing zero behavior drift on the reproduction path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Deterministic device/pressure fault plan.
+    pub plan: FaultPlan,
+    /// ZRAM compressed-pool capacity in bytes (`None` = unbounded).
+    pub zram_capacity_bytes: Option<u64>,
+    /// Transient swap-in read failures are retried this many times with
+    /// exponential backoff before the faulting task is killed (SIGBUS
+    /// analog).
+    pub max_io_retries: u32,
+    /// First retry backoff; doubles per consecutive failure.
+    pub retry_backoff_base: Nanos,
+    /// Upper bound on a single backoff sleep.
+    pub retry_backoff_cap: Nanos,
+    /// OOM killer trigger: a thread that retries a starved allocation this
+    /// many consecutive times invokes the OOM killer (`None` disables it —
+    /// the pre-fault-model livelock behavior).
+    pub oom_after_stalls: Option<u32>,
+}
+
+impl FaultConfig {
+    /// No faults, no OOM killer: the fault-free reproduction path.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            plan: FaultPlan::none(),
+            zram_capacity_bytes: None,
+            max_io_retries: 8,
+            retry_backoff_base: 100 * MICROSECOND,
+            retry_backoff_cap: 50 * MILLISECOND,
+            oom_after_stalls: None,
+        }
+    }
+
+    /// A stalling, occasionally failing SSD under external memory
+    /// pressure: periodic device stalls, a low transient error rate, and
+    /// a balloon that grabs a third of memory early on, with the OOM
+    /// killer armed. This is the `repro -- faults` scenario.
+    pub fn stalling_ssd() -> FaultConfig {
+        FaultConfig {
+            plan: FaultPlan {
+                error_rate: 0.002,
+                fail_permanently_at: None,
+                stall: Some(StallPlan {
+                    first_onset: 500 * MILLISECOND,
+                    period: 5 * SECOND,
+                    onset_jitter: 100 * MILLISECOND,
+                    duration: 1_500 * MILLISECOND,
+                    duration_jitter: 250 * MILLISECOND,
+                }),
+                pressure: vec![PressureStep {
+                    at: 2 * SECOND,
+                    frac: 0.34,
+                    duration: 20 * SECOND,
+                }],
+            },
+            oom_after_stalls: Some(128),
+            ..FaultConfig::none()
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
 
 /// Which replacement policy manages memory — the paper's five contenders.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -144,6 +216,8 @@ pub struct SystemConfig {
     /// scan-overhead-to-fault-cost balance matches the paper's 12–16 GB
     /// footprints at our scaled-down page counts.
     pub page_compression: u64,
+    /// Fault model (injection plan + kernel failure-handling knobs).
+    pub faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -163,6 +237,7 @@ impl SystemConfig {
             max_sim_time: 6 * 3600 * SECOND, // 6 simulated hours
             writeback_throttle_ns: 120 * MILLISECOND,
             page_compression: 200,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -186,6 +261,12 @@ impl SystemConfig {
     pub fn cores(mut self, cores: usize) -> Self {
         assert!(cores > 0);
         self.cores = cores;
+        self
+    }
+
+    /// Sets the fault model.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -237,6 +318,17 @@ mod tests {
         assert_eq!(SwapChoice::Zram.label(), "zram");
         let c = SystemConfig::new(PolicyChoice::MgLruDefault, SwapChoice::Ssd);
         assert_eq!(c.cell_label("tpch"), "tpch/mglru/ssd/50%");
+    }
+
+    #[test]
+    fn default_fault_config_is_inert() {
+        let c = SystemConfig::new(PolicyChoice::Clock, SwapChoice::Ssd);
+        assert!(c.faults.plan.is_noop());
+        assert_eq!(c.faults.oom_after_stalls, None);
+        assert_eq!(c.faults.zram_capacity_bytes, None);
+        let f = FaultConfig::stalling_ssd();
+        assert!(f.plan.has_device_faults());
+        assert!(f.oom_after_stalls.is_some());
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! [`Bench`] caches each `(workload, policy, swap, ratio)` cell so a full
 //! `fig1..fig12` sweep runs every cell exactly once.
 
+mod faults;
 mod figures;
 
+pub use faults::*;
 pub use figures::*;
 
 use std::collections::HashMap;
@@ -23,7 +25,7 @@ use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
 use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
 use pagesim_workloads::Workload;
 
-use crate::config::{PolicyChoice, SwapChoice, SystemConfig};
+use crate::config::{FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
 use crate::metrics::{Experiment, TrialSet};
 
 /// Sweep scale: trials per cell and workload footprint factor.
@@ -187,6 +189,32 @@ impl Bench {
         let set = Arc::new(set);
         self.cache.lock().insert(key, Arc::clone(&set));
         set
+    }
+
+    /// Runs one cell with a fault model attached. Fault cells are not
+    /// cached: each belongs to exactly one experiment, and keying the
+    /// shared cache by fault plan would buy nothing.
+    pub fn fault_cell(
+        &self,
+        wl: Wl,
+        policy: PolicyChoice,
+        swap: SwapChoice,
+        ratio: f64,
+        faults: FaultConfig,
+    ) -> TrialSet {
+        let config = SystemConfig::new(policy, swap)
+            .capacity_ratio(ratio)
+            .faults(faults);
+        let exp = Experiment::new(config);
+        let seed = self.scale.seed;
+        let trials = self.scale.trials;
+        match wl {
+            Wl::Tpch => exp.run_trials(&self.tpch, seed, trials),
+            Wl::PageRank => exp.run_trials(&self.pagerank, seed, trials),
+            Wl::YcsbA => exp.run_trials(&self.ycsb_a, seed, trials),
+            Wl::YcsbB => exp.run_trials(&self.ycsb_b, seed, trials),
+            Wl::YcsbC => exp.run_trials(&self.ycsb_c, seed, trials),
+        }
     }
 
     /// The paper's primary performance metric for a cell: mean runtime for

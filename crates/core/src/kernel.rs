@@ -28,14 +28,38 @@
 //! * File-backed pages are read from (and written back to) the device on
 //!   demand; clean file pages are simply dropped. The backing file lives
 //!   on the same simulated device as swap (documented substitution).
+//!
+//! ## Failure model
+//!
+//! With a non-empty [`FaultConfig`](crate::config::FaultConfig) the swap
+//! device can reject or stall operations and the kernel reacts the way
+//! Linux does:
+//!
+//! * A failed swap-in is retried with exponential backoff; a permanent
+//!   device error (or exhausting the retry budget) kills the faulting
+//!   task — the SIGBUS path — releasing its frames.
+//! * A failed swap-out aborts the eviction: the victim page stays
+//!   resident and is handed back to the policy.
+//! * A long streak of starved allocations invokes an OOM killer that
+//!   picks the largest-RSS task (first-touch frame attribution), kills
+//!   it, and frees its frames.
+//! * Memory-pressure steps inflate a balloon that grabs free frames for a
+//!   while, forcing reclaim to run against a shrunken pool.
+//!
+//! With the default empty plan none of these paths execute and the
+//! simulation is bit-identical to the fault-free model.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use pagesim_engine::faults::IoError;
+use pagesim_engine::rng::derive_seed;
 use pagesim_engine::{
-    BarrierSet, DispatchDecision, EventQueue, Nanos, Scheduler, SimTime, ThreadClass, ThreadId,
-    MICROSECOND, MILLISECOND,
+    BarrierSet, DispatchDecision, EventQueue, FaultInjector, Nanos, Scheduler, SimTime,
+    ThreadClass, ThreadId, MICROSECOND, MILLISECOND,
 };
-use pagesim_mem::{AddressSpace, AsId, FrameId, PageArena, PageKey, PhysMem, Vpn, Watermarks};
+use pagesim_mem::{
+    AddressSpace, AsId, FrameId, FrameState, PageArena, PageKey, PhysMem, Vpn, Watermarks,
+};
 use pagesim_policy::{ClockLru, MgLru, MgLruConfig, Policy};
 use pagesim_swap::{SsdDevice, SwapDevice, SwapSlot, ZramDevice};
 use pagesim_workloads::{AccessStream, Op, ReqClass, Workload};
@@ -43,6 +67,40 @@ use pagesim_workloads::{AccessStream, Op, ReqClass, Workload};
 use crate::config::{PolicyChoice, SwapChoice, SystemConfig};
 use crate::mem_state::MemState;
 use crate::metrics::RunMetrics;
+
+/// Owner key recorded for balloon-held frames (outside every address
+/// space; the arena never grows anywhere near `u32::MAX` pages).
+const BALLOON_KEY: PageKey = PageKey::MAX;
+
+/// A condition that ends (or degrades) a simulation without a panic.
+///
+/// Simulation-state violations used to abort the whole experiment batch
+/// via `expect`/`assert`; they now propagate into
+/// [`RunMetrics::error`](crate::RunMetrics) so one bad cell cannot take
+/// down a figure sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// A `RequestEnd` op arrived with no `RequestStart` in flight.
+    RequestWithoutStart,
+    /// A `RequestStart` op arrived while another request was open.
+    NestedRequest,
+    /// No events remained while application threads were still live.
+    Deadlock,
+    /// The simulation exceeded `config.max_sim_time` (a guard against
+    /// thrashing loops that make no forward progress).
+    SimTimeExceeded,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::RequestWithoutStart => write!(f, "RequestEnd without RequestStart"),
+            SimError::NestedRequest => write!(f, "nested RequestStart"),
+            SimError::Deadlock => write!(f, "deadlock: no events, app threads live"),
+            SimError::SimTimeExceeded => write!(f, "simulation exceeded max_sim_time"),
+        }
+    }
+}
 
 #[derive(Debug)]
 enum Event {
@@ -67,6 +125,14 @@ enum Event {
         tid: ThreadId,
     },
     KswapdRetry,
+    /// A memory-pressure step begins: the balloon inflates.
+    PressureOn {
+        idx: usize,
+    },
+    /// A memory-pressure step ends: the balloon deflates.
+    PressureOff {
+        idx: usize,
+    },
 }
 
 enum ThreadBody {
@@ -119,6 +185,23 @@ pub struct Kernel {
     /// faulters on the same page wait for the first I/O instead of
     /// issuing their own.
     inflight: HashMap<PageKey, Vec<ThreadId>>,
+    /// First-touch frame attribution: which app thread faulted each frame
+    /// in. Drives the OOM killer's RSS accounting; cleared at every free.
+    frame_owner: Vec<Option<ThreadId>>,
+    /// Threads killed by the OOM killer or an unrecoverable I/O error;
+    /// they retire at their next dispatch.
+    killed: Vec<bool>,
+    /// Consecutive failed swap-in attempts per thread (exponential
+    /// backoff); reset on a successful read submission.
+    retry_attempts: Vec<u32>,
+    /// Consecutive starved allocations across all threads; the OOM
+    /// trigger. Reset whenever an allocation succeeds.
+    stall_streak: u32,
+    /// Frames referenced by an in-flight `IoDone` event: the OOM killer
+    /// must not free them (the completion handler will).
+    io_pinned: HashSet<FrameId>,
+    /// Frames held by each active pressure step's balloon.
+    balloon: Vec<Vec<FrameId>>,
     metrics: RunMetrics,
 }
 
@@ -190,13 +273,36 @@ impl Kernel {
             }
         };
 
+        // Devices carry a fault injector only when the plan can touch
+        // them: a plain device stays on the branch-free fast path and the
+        // simulation is bit-identical to the fault-free build.
+        let device_faults = config
+            .faults
+            .plan
+            .has_device_faults()
+            .then(|| FaultInjector::new(config.faults.plan.clone(), derive_seed(seed, "fault-injection")));
         let swap: Box<dyn SwapDevice> = match config.swap {
-            SwapChoice::Ssd => Box::new(SsdDevice::new(
-                7 * MILLISECOND + 500 * MICROSECOND,
-                7 * MILLISECOND + 500 * MICROSECOND,
-                config.ssd_parallelism,
-            )),
-            SwapChoice::Zram => Box::new(ZramDevice::with_paper_costs()),
+            SwapChoice::Ssd => {
+                let mut d = SsdDevice::new(
+                    7 * MILLISECOND + 500 * MICROSECOND,
+                    7 * MILLISECOND + 500 * MICROSECOND,
+                    config.ssd_parallelism,
+                );
+                if let Some(inj) = device_faults {
+                    d = d.with_faults(inj);
+                }
+                Box::new(d)
+            }
+            SwapChoice::Zram => {
+                let mut d = ZramDevice::with_paper_costs();
+                if let Some(bytes) = config.faults.zram_capacity_bytes {
+                    d = d.with_capacity(bytes);
+                }
+                if let Some(inj) = device_faults {
+                    d = d.with_faults(inj);
+                }
+                Box::new(d)
+            }
         };
 
         let mut sched = Scheduler::new(config.cores, config.quantum);
@@ -228,10 +334,17 @@ impl Kernel {
             ..RunMetrics::default()
         };
 
+        let mut events = EventQueue::new();
+        let pressure = &config.faults.plan.pressure;
+        for (idx, step) in pressure.iter().enumerate() {
+            events.push(SimTime::from_ns(step.at), Event::PressureOn { idx });
+        }
+
+        let thread_count = bodies.len();
         Kernel {
             cfg: config.clone(),
             now: SimTime::ZERO,
-            events: EventQueue::new(),
+            events,
             sched,
             barriers,
             mem,
@@ -247,16 +360,21 @@ impl Kernel {
             aging_asleep: true,
             slot_ready: HashMap::new(),
             inflight: HashMap::new(),
+            frame_owner: vec![None; frames],
+            killed: vec![false; thread_count],
+            retry_attempts: vec![0; thread_count],
+            stall_streak: 0,
+            io_pinned: HashSet::new(),
+            balloon: vec![Vec::new(); pressure.len()],
             metrics,
         }
     }
 
     /// Runs the workload to completion and returns the collected metrics.
     ///
-    /// # Panics
-    ///
-    /// Panics if the simulation exceeds `config.max_sim_time` (a guard
-    /// against misconfigured thrashing loops) or deadlocks.
+    /// Simulation-state violations (deadlock, exceeding
+    /// `config.max_sim_time`, malformed request streams) are recorded in
+    /// [`RunMetrics::error`] instead of panicking.
     pub fn run(mut self) -> RunMetrics {
         loop {
             while let Some((core, tid)) = self.sched.try_dispatch() {
@@ -273,15 +391,17 @@ impl Kernel {
                 );
             }
             let Some((t, ev)) = self.events.pop() else {
-                assert_eq!(self.app_live, 0, "deadlock: no events, app threads live");
+                if self.app_live != 0 {
+                    self.metrics.error.get_or_insert(SimError::Deadlock);
+                    self.finish_time = self.finish_time.max(self.now);
+                }
                 break;
             };
-            assert!(
-                t.as_ns() <= self.cfg.max_sim_time,
-                "simulation exceeded max_sim_time at {t} ({} faults, {} free frames)",
-                self.metrics.major_faults,
-                self.mem.phys.free_frames()
-            );
+            if t.as_ns() > self.cfg.max_sim_time {
+                self.metrics.error.get_or_insert(SimError::SimTimeExceeded);
+                self.finish_time = self.finish_time.max(self.now);
+                break;
+            }
             self.now = t;
             self.handle_event(ev);
             if self.app_live == 0 {
@@ -326,21 +446,30 @@ impl Kernel {
                 write,
                 fd,
             } => {
+                self.io_pinned.remove(&frame);
+                if self.killed[tid.0 as usize] || self.sched.is_finished(tid) {
+                    // The faulting thread died while its I/O was in
+                    // flight: drop the frame, leave the page out.
+                    self.frame_owner[frame as usize] = None;
+                    if self.mem.phys.state(frame) == FrameState::InUse {
+                        self.mem.phys.free(frame);
+                    }
+                    self.wake_inflight_waiters(key);
+                    return;
+                }
                 self.complete_major_fault(tid, key, frame, slot, write, fd);
                 self.sched.make_runnable(tid);
                 // Release the page lock: threads that faulted on the same
                 // page retry their access and hit.
-                if let Some(waiters) = self.inflight.remove(&key) {
-                    for w in waiters {
-                        self.sched.make_runnable(w);
-                    }
-                }
+                self.wake_inflight_waiters(key);
             }
             Event::FrameFree { frame } => {
                 self.mem.phys.writeback_done(frame);
             }
             Event::Wake { tid } => {
-                self.sched.make_runnable(tid);
+                if !self.sched.is_finished(tid) {
+                    self.sched.make_runnable(tid);
+                }
             }
             Event::KswapdRetry => {
                 self.kswapd_retry_pending = false;
@@ -349,6 +478,48 @@ impl Kernel {
                     self.sched.make_runnable(self.kswapd);
                 }
             }
+            Event::PressureOn { idx } => self.pressure_on(idx),
+            Event::PressureOff { idx } => self.pressure_off(idx),
+        }
+    }
+
+    fn wake_inflight_waiters(&mut self, key: PageKey) {
+        if let Some(waiters) = self.inflight.remove(&key) {
+            for w in waiters {
+                if !self.sched.is_finished(w) {
+                    self.sched.make_runnable(w);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Memory-pressure balloon
+    // ---------------------------------------------------------------
+
+    fn pressure_on(&mut self, idx: usize) {
+        let step = self.cfg.faults.plan.pressure[idx];
+        let want = (self.mem.phys.capacity() as f64 * step.frac) as usize;
+        let mut taken = Vec::new();
+        // `allocate` refuses below the min watermark, so the balloon can
+        // never consume the reserve that direct reclaim depends on.
+        for _ in 0..want {
+            let Some(f) = self.mem.phys.allocate(BALLOON_KEY) else {
+                break;
+            };
+            self.frame_owner[f as usize] = None;
+            taken.push(f);
+        }
+        self.metrics.pressure_frames_taken += taken.len() as u64;
+        self.balloon[idx] = taken;
+        self.events
+            .push(self.now + step.duration, Event::PressureOff { idx });
+        self.maybe_wake_kswapd();
+    }
+
+    fn pressure_off(&mut self, idx: usize) {
+        for f in std::mem::take(&mut self.balloon[idx]) {
+            self.mem.phys.free(f);
         }
     }
 
@@ -365,6 +536,11 @@ impl Kernel {
     }
 
     fn run_app_slice(&mut self, tid: ThreadId) -> (Nanos, SliceOutcome) {
+        if self.killed[tid.0 as usize] {
+            // Killed by the OOM killer or an unrecoverable I/O error:
+            // retire without consuming further ops.
+            return (0, SliceOutcome::Finished);
+        }
         let budget = self.sched.quantum();
         let mut used: Nanos = 0;
         loop {
@@ -429,6 +605,7 @@ impl Kernel {
                             *pending = Some(op);
                             return (used, SliceOutcome::Blocked);
                         }
+                        TouchResult::Killed => return (used, SliceOutcome::Finished),
                     }
                 }
                 Op::Barrier { id } => {
@@ -448,7 +625,9 @@ impl Kernel {
                     else {
                         unreachable!()
                     };
-                    debug_assert!(request.is_none(), "nested request");
+                    if request.is_some() {
+                        self.metrics.error.get_or_insert(SimError::NestedRequest);
+                    }
                     *request = Some((class, at, warmup));
                 }
                 Op::RequestEnd => {
@@ -457,8 +636,12 @@ impl Kernel {
                     else {
                         unreachable!()
                     };
-                    let (class, start, warmup) =
-                        request.take().expect("RequestEnd without start");
+                    let Some((class, start, warmup)) = request.take() else {
+                        self.metrics
+                            .error
+                            .get_or_insert(SimError::RequestWithoutStart);
+                        continue;
+                    };
                     if !warmup {
                         let latency = at.saturating_since(start).max(1);
                         match class {
@@ -538,9 +721,19 @@ impl Kernel {
         }
         // 1. A frame must be available before any read can start.
         let frame = match self.grab_frame(key, used) {
-            Some(f) => f,
+            Some(f) => {
+                self.stall_streak = 0;
+                self.frame_owner[f as usize] = Some(tid);
+                f
+            }
             None => {
                 self.metrics.alloc_stalls += 1;
+                if self.note_alloc_stall() {
+                    // The OOM killer chose *this* thread.
+                    if self.killed[tid.0 as usize] {
+                        return TouchResult::Killed;
+                    }
+                }
                 // All frames pinned by in-flight write-back (or everything
                 // looked accessed): retry shortly.
                 self.events.push(
@@ -556,7 +749,6 @@ impl Kernel {
         if pte.swapped() || info.file_backed {
             // Major fault: content must come from the device (swap slot or
             // backing file).
-            self.metrics.major_faults += 1;
             *used += self.cfg.app_costs.major_fault_ns;
             let slot = pte.swap_slot();
             let vt = self.now + *used;
@@ -569,6 +761,15 @@ impl Kernel {
                 Some(s) => self.swap.read(submit, s),
                 None => self.swap.file_read(submit), // demand read of a file page
             };
+            let out = match out {
+                Ok(o) => o,
+                Err(fail) => {
+                    *used += fail.cpu_ns;
+                    return self.swap_in_failed(tid, frame, fail.error, used);
+                }
+            };
+            self.retry_attempts[tid.0 as usize] = 0;
+            self.metrics.major_faults += 1;
             *used += out.cpu_ns;
             let sync_done = self.now + *used;
             if out.done_at <= sync_done.max(submit + out.cpu_ns) && submit == vt {
@@ -577,6 +778,7 @@ impl Kernel {
                 TouchResult::Hit
             } else {
                 self.inflight.insert(key, Vec::new());
+                self.io_pinned.insert(frame);
                 self.events.push(
                     out.done_at,
                     Event::IoDone {
@@ -600,6 +802,56 @@ impl Kernel {
             self.policy.on_page_resident(key, false, &mut self.mem);
             TouchResult::Hit
         }
+    }
+
+    /// A swap-in read was rejected by the device. Transient errors back
+    /// off exponentially and retry; a permanent error (or an exhausted
+    /// retry budget) kills the faulting task — the SIGBUS analog.
+    fn swap_in_failed(
+        &mut self,
+        tid: ThreadId,
+        frame: FrameId,
+        error: IoError,
+        used: &mut Nanos,
+    ) -> TouchResult {
+        self.metrics.io_errors += 1;
+        // The fault did not complete: hand the frame back.
+        self.frame_owner[frame as usize] = None;
+        self.mem.phys.free(frame);
+        let ti = tid.0 as usize;
+        if error == IoError::Permanent || self.retry_attempts[ti] >= self.cfg.faults.max_io_retries
+        {
+            self.metrics.io_kills += 1;
+            self.kill_thread(tid);
+            return TouchResult::Killed;
+        }
+        let backoff = self
+            .cfg
+            .faults
+            .retry_backoff_base
+            .saturating_mul(1u64 << self.retry_attempts[ti].min(24))
+            .min(self.cfg.faults.retry_backoff_cap);
+        self.retry_attempts[ti] += 1;
+        self.metrics.io_retries += 1;
+        self.metrics.backoff_ns += backoff;
+        self.events
+            .push(self.now + *used + backoff, Event::Wake { tid });
+        TouchResult::Starved
+    }
+
+    /// Counts a starved allocation toward the OOM trigger. Returns `true`
+    /// if the OOM killer ran.
+    fn note_alloc_stall(&mut self) -> bool {
+        let Some(limit) = self.cfg.faults.oom_after_stalls else {
+            return false;
+        };
+        self.stall_streak += 1;
+        if self.stall_streak < limit {
+            return false;
+        }
+        self.stall_streak = 0;
+        self.oom_kill();
+        true
     }
 
     /// Finishes a swap-in/file read: maps the page and updates the policy.
@@ -676,6 +928,10 @@ impl Kernel {
 
     /// Unmaps victims and performs swap-out. Returns CPU time charged to
     /// the reclaiming thread (write submission, compression).
+    ///
+    /// A rejected device write (injected error, full ZRAM pool) aborts
+    /// that victim's eviction: the page stays resident and is handed back
+    /// to the policy. The attempted operation's CPU is still charged.
     fn apply_evictions(&mut self, victims: &[PageKey], vt: SimTime) -> Nanos {
         let mut cpu: Nanos = 0;
         for &key in victims {
@@ -685,16 +941,24 @@ impl Kernel {
                 debug_assert!(false, "victim {key} not resident");
                 continue;
             };
-            self.policy.on_page_evicted(key, &mut self.mem);
             let info = self.mem.arena.info(key);
             if info.file_backed {
                 if pte.dirty() {
                     // Write back to the file, then drop.
-                    let out = self.swap.file_write(vt + cpu);
-                    cpu += out.cpu_ns;
-                    self.metrics.swap_outs += 1;
-                    self.pin_until(frame, vt + cpu, out.done_at);
+                    match self.swap.file_write(vt + cpu) {
+                        Ok(out) => {
+                            cpu += out.cpu_ns;
+                            self.metrics.swap_outs += 1;
+                            self.pin_until(frame, vt + cpu, out.done_at);
+                        }
+                        Err(fail) => {
+                            cpu += fail.cpu_ns;
+                            self.abort_eviction(key);
+                            continue;
+                        }
+                    }
                 } else {
+                    self.frame_owner[frame as usize] = None;
                     self.mem.phys.free(frame);
                 }
                 self.mem.space_mut(space).pte_mut(vpn).clear();
@@ -702,32 +966,136 @@ impl Kernel {
                 // Clean anon page with a valid swap copy: free drop.
                 debug_assert!(!pte.dirty(), "dirty page kept backing");
                 self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
+                self.frame_owner[frame as usize] = None;
                 self.mem.phys.free(frame);
                 self.metrics.clean_drops += 1;
             } else {
                 // Dirty anon page: allocate a slot and write.
                 let slot = self.swap.allocate_slot();
-                let out = self.swap.write(vt + cpu, slot, info.entropy);
-                cpu += out.cpu_ns;
-                self.slot_ready.insert(slot, out.done_at);
-                self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
-                self.metrics.swap_outs += 1;
-                self.pin_until(frame, vt + cpu, out.done_at);
+                match self.swap.write(vt + cpu, slot, info.entropy) {
+                    Ok(out) => {
+                        cpu += out.cpu_ns;
+                        self.slot_ready.insert(slot, out.done_at);
+                        self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
+                        self.metrics.swap_outs += 1;
+                        self.pin_until(frame, vt + cpu, out.done_at);
+                    }
+                    Err(fail) => {
+                        cpu += fail.cpu_ns;
+                        self.swap.release(slot);
+                        self.abort_eviction(key);
+                        continue;
+                    }
+                }
             }
+            self.policy.on_page_evicted(key, &mut self.mem);
             self.mem.evicted_before[key as usize] = true;
             self.metrics.evictions += 1;
         }
         cpu
     }
 
+    /// Reverses a reclaim decision after the device rejected the
+    /// write-back: the page stays mapped and the policy re-tracks it as
+    /// resident (the reclaim pass had already detached it).
+    fn abort_eviction(&mut self, key: PageKey) {
+        self.metrics.io_errors += 1;
+        self.metrics.eviction_aborts += 1;
+        self.policy.on_page_resident(key, false, &mut self.mem);
+    }
+
     /// Frees the frame now (synchronous media) or pins it until `done_at`.
     fn pin_until(&mut self, frame: FrameId, vt: SimTime, done_at: SimTime) {
+        self.frame_owner[frame as usize] = None;
         if done_at <= vt {
             self.mem.phys.free(frame);
         } else {
             self.mem.phys.begin_writeback(frame);
             self.events.push(done_at, Event::FrameFree { frame });
         }
+    }
+
+    // ---------------------------------------------------------------
+    // OOM killer
+    // ---------------------------------------------------------------
+
+    /// Kills the app thread with the largest RSS (first-touch frame
+    /// attribution), freeing its frames. Mirrors the kernel's OOM badness
+    /// heuristic in its simplest form: biggest wins, ties to the lowest
+    /// tid for determinism.
+    fn oom_kill(&mut self) {
+        let mut rss = vec![0u64; self.bodies.len()];
+        for f in 0..self.mem.phys.capacity() as u32 {
+            if self.mem.phys.state(f) == FrameState::InUse {
+                if let Some(t) = self.frame_owner[f as usize] {
+                    rss[t.0 as usize] += 1;
+                }
+            }
+        }
+        let victim = (0..self.bodies.len())
+            .filter(|&i| matches!(self.bodies[i], ThreadBody::App { .. }))
+            .filter(|&i| !self.killed[i] && !self.sched.is_finished(ThreadId(i as u32)))
+            .filter(|&i| rss[i] > 0)
+            .max_by_key(|&i| (rss[i], std::cmp::Reverse(i)));
+        let Some(v) = victim else {
+            return; // nothing killable owns memory; keep stalling
+        };
+        self.metrics.oom_kills += 1;
+        self.kill_thread(ThreadId(v as u32));
+    }
+
+    /// Marks `victim` killed, releases the frames it faulted in, and
+    /// detaches it from barriers so peers are not stranded. The thread
+    /// retires at its next dispatch.
+    ///
+    /// Model simplification: in shared address spaces the victim's
+    /// first-touched pages are dropped outright; surviving threads
+    /// re-fault them as zero-fill minor faults.
+    fn kill_thread(&mut self, victim: ThreadId) {
+        let vi = victim.0 as usize;
+        if self.killed[vi] || self.sched.is_finished(victim) {
+            return;
+        }
+        self.killed[vi] = true;
+        let mut freed = 0u64;
+        for f in 0..self.mem.phys.capacity() as u32 {
+            if self.frame_owner[f as usize] != Some(victim) {
+                continue;
+            }
+            if self.mem.phys.state(f) != FrameState::InUse {
+                self.frame_owner[f as usize] = None;
+                continue;
+            }
+            if self.io_pinned.contains(&f) {
+                // An IoDone for this frame is in flight; its handler will
+                // free it (the thread is marked killed by then).
+                continue;
+            }
+            let Some(key) = self.mem.phys.owner(f) else {
+                self.frame_owner[f as usize] = None;
+                continue;
+            };
+            let (space, vpn) = self.mem.locate(key);
+            self.policy.forget(key);
+            self.mem.space_mut(space).pte_mut(vpn).clear();
+            if let Some(slot) = self.mem.backing[key as usize].take() {
+                self.slot_ready.remove(&slot);
+                self.swap.release(slot);
+            }
+            self.frame_owner[f as usize] = None;
+            self.mem.phys.free(f);
+            freed += 1;
+        }
+        self.metrics.kill_freed_frames += freed;
+        for w in self.barriers.depart(victim) {
+            if !self.sched.is_finished(w) {
+                self.sched.make_runnable(w);
+            }
+        }
+        // Ensure the victim reaches dispatch and retires (a no-op if it
+        // is already runnable; a pending wake if it is mid-slice).
+        self.sched.make_runnable(victim);
+        self.maybe_wake_kswapd();
     }
 
     fn maybe_wake_kswapd(&mut self) {
@@ -814,11 +1182,16 @@ enum TouchResult {
     Hit,
     BlockedIo,
     Starved,
+    /// The faulting thread was killed (permanent I/O failure or the OOM
+    /// killer chose it); the slice finishes immediately.
+    Killed,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FaultConfig;
+    use pagesim_engine::{FaultPlan, StallPlan, SECOND};
     use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
     use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
 
@@ -835,6 +1208,7 @@ mod tests {
         assert_eq!(m.major_faults, 0, "no pressure, no swap");
         assert!(m.minor_faults > 0, "first touches still fault");
         assert!(m.runtime_ns > 0);
+        assert_eq!(m.error, None);
     }
 
     #[test]
@@ -913,5 +1287,149 @@ mod tests {
         let w = TpchWorkload::new(TpchConfig::tiny());
         let m = Kernel::build(&cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5), &w, 1).run();
         assert!(m.clean_drops > 0, "swap-cache fast path never used");
+    }
+
+    // ------------------------------------------------------------
+    // Fault model
+    // ------------------------------------------------------------
+
+    #[test]
+    fn default_fault_config_matches_faultless_run() {
+        // The explicit none() config must be bit-identical to the default.
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let base = cfg(PolicyChoice::MgLruDefault, SwapChoice::Zram, 0.5);
+        let with_none = base.clone().faults(FaultConfig::none());
+        let a = Kernel::build(&base, &w, 11).run();
+        let b = Kernel::build(&with_none, &w, 11).run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "zero-drift violated");
+        assert_eq!(a.io_errors, 0);
+        assert_eq!(a.io_retries, 0);
+        assert_eq!(a.oom_kills, 0);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_survive() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let faults = FaultConfig {
+            plan: FaultPlan {
+                error_rate: 0.05,
+                ..FaultPlan::none()
+            },
+            ..FaultConfig::none()
+        };
+        let m = Kernel::build(
+            &cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5).faults(faults),
+            &w,
+            1,
+        )
+        .run();
+        assert!(m.io_errors > 0, "5% error rate must hit");
+        assert!(m.io_retries > 0, "transient errors must be retried");
+        assert!(m.backoff_ns > 0);
+        assert_eq!(m.error, None, "run must complete despite errors");
+        assert!(m.runtime_ns > 0);
+    }
+
+    #[test]
+    fn permanent_failure_kills_faulting_tasks() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        // Fail the device mid-run (the tiny workload finishes in ~6ms of
+        // simulated time): tasks that swap in after the cliff die. The OOM
+        // backstop keeps frame starvation from livelocking once reclaim
+        // can no longer write anything out.
+        let faults = FaultConfig {
+            plan: FaultPlan {
+                fail_permanently_at: Some(2 * MILLISECOND),
+                ..FaultPlan::none()
+            },
+            oom_after_stalls: Some(64),
+            ..FaultConfig::none()
+        };
+        let m = Kernel::build(
+            &cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5).faults(faults),
+            &w,
+            1,
+        )
+        .run();
+        assert!(m.io_errors > 0);
+        assert!(m.io_kills > 0, "permanent failure must kill tasks");
+        assert!(m.kill_freed_frames > 0, "kill must release frames");
+        assert_eq!(m.error, None, "run must terminate cleanly");
+    }
+
+    #[test]
+    fn oom_killer_fires_when_zram_pool_is_tiny() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        // A near-empty compressed pool makes dirty evictions fail, so
+        // allocations starve until the OOM killer frees a task's RSS.
+        let faults = FaultConfig {
+            zram_capacity_bytes: Some(64 * 1024),
+            oom_after_stalls: Some(16),
+            ..FaultConfig::none()
+        };
+        let m = Kernel::build(
+            &cfg(PolicyChoice::Clock, SwapChoice::Zram, 0.5).faults(faults),
+            &w,
+            1,
+        )
+        .run();
+        assert!(m.oom_kills > 0, "pool exhaustion must trigger OOM");
+        assert!(m.kill_freed_frames > 0);
+        assert!(m.swap_stats.pool_rejections > 0);
+        assert_eq!(m.error, None, "OOM must resolve the livelock");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let faults = FaultConfig {
+            plan: FaultPlan {
+                error_rate: 0.02,
+                stall: Some(StallPlan {
+                    first_onset: 10 * MILLISECOND,
+                    period: 100 * MILLISECOND,
+                    onset_jitter: 5 * MILLISECOND,
+                    duration: 20 * MILLISECOND,
+                    duration_jitter: 5 * MILLISECOND,
+                }),
+                ..FaultPlan::none()
+            },
+            oom_after_stalls: Some(64),
+            ..FaultConfig::none()
+        };
+        let c = cfg(PolicyChoice::MgLruDefault, SwapChoice::Ssd, 0.5).faults(faults);
+        let a = Kernel::build(&c, &w, 5).run();
+        let b = Kernel::build(&c, &w, 5).run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "faulty run must replay");
+    }
+
+    #[test]
+    fn pressure_steps_take_and_return_frames() {
+        use pagesim_engine::PressureStep;
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let faults = FaultConfig {
+            plan: FaultPlan {
+                // Inflate at t=0: at full capacity ratio the app itself
+                // would otherwise touch every frame within the first
+                // millisecond, leaving nothing free to take.
+                pressure: vec![PressureStep {
+                    at: 0,
+                    frac: 0.25,
+                    duration: SECOND,
+                }],
+                ..FaultPlan::none()
+            },
+            ..FaultConfig::none()
+        };
+        // Full-capacity run: without pressure there would be no reclaim
+        // at all, so any eviction activity is the balloon's doing.
+        let m = Kernel::build(
+            &cfg(PolicyChoice::Clock, SwapChoice::Zram, 1.0).faults(faults),
+            &w,
+            1,
+        )
+        .run();
+        assert!(m.pressure_frames_taken > 0, "balloon never inflated");
+        assert_eq!(m.error, None);
     }
 }

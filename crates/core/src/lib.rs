@@ -46,6 +46,6 @@ mod mem_state;
 mod metrics;
 pub mod report;
 
-pub use config::{AppCosts, PolicyChoice, SwapChoice, SystemConfig};
-pub use kernel::Kernel;
+pub use config::{AppCosts, FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
+pub use kernel::{Kernel, SimError};
 pub use metrics::{Experiment, RunMetrics, TrialSet};

@@ -8,7 +8,7 @@ use pagesim_swap::SwapStats;
 use pagesim_workloads::Workload;
 
 use crate::config::SystemConfig;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, SimError};
 
 /// Everything one workload execution produces.
 #[derive(Clone, Debug, Default)]
@@ -59,6 +59,26 @@ pub struct RunMetrics {
     pub capacity_frames: u32,
     /// Bytes held on the swap device at exit (compressed for ZRAM).
     pub swap_used_bytes: u64,
+    /// Injected I/O errors observed by the kernel (failed swap-ins and
+    /// aborted evictions).
+    pub io_errors: u64,
+    /// Swap-in retries after transient device errors.
+    pub io_retries: u64,
+    /// Total time faulting threads slept in retry backoff.
+    pub backoff_ns: Nanos,
+    /// Tasks killed by an unrecoverable swap-in failure (SIGBUS analog).
+    pub io_kills: u64,
+    /// Tasks killed by the OOM killer.
+    pub oom_kills: u64,
+    /// Frames released by task kills (OOM and I/O).
+    pub kill_freed_frames: u64,
+    /// Evictions rolled back because the device rejected the write-back.
+    pub eviction_aborts: u64,
+    /// Frames grabbed by memory-pressure balloon steps.
+    pub pressure_frames_taken: u64,
+    /// First simulation-state violation, if any (the run degrades instead
+    /// of panicking).
+    pub error: Option<SimError>,
 }
 
 impl RunMetrics {
@@ -77,6 +97,12 @@ impl RunMetrics {
         (self.read_latency.mean() * self.read_latency.count() as f64
             + self.write_latency.mean() * self.write_latency.count() as f64)
             / n as f64
+    }
+
+    /// Time the run spent in degraded mode: retry backoff sleeps plus
+    /// injected device-stall delay.
+    pub fn degraded_ns(&self) -> Nanos {
+        self.backoff_ns + self.swap_stats.stall_delay_ns
     }
 }
 
@@ -195,6 +221,41 @@ impl TrialSet {
             h.merge(&r.write_latency);
         }
         h
+    }
+
+    /// Injected I/O errors summed over trials.
+    pub fn total_io_errors(&self) -> u64 {
+        self.runs.iter().map(|r| r.io_errors).sum()
+    }
+
+    /// Swap-in retries summed over trials.
+    pub fn total_io_retries(&self) -> u64 {
+        self.runs.iter().map(|r| r.io_retries).sum()
+    }
+
+    /// OOM and I/O kills summed over trials.
+    pub fn total_kills(&self) -> u64 {
+        self.runs.iter().map(|r| r.oom_kills + r.io_kills).sum()
+    }
+
+    /// OOM kills summed over trials.
+    pub fn total_oom_kills(&self) -> u64 {
+        self.runs.iter().map(|r| r.oom_kills).sum()
+    }
+
+    /// Allocation stalls summed over trials.
+    pub fn total_alloc_stalls(&self) -> u64 {
+        self.runs.iter().map(|r| r.alloc_stalls).sum()
+    }
+
+    /// Degraded-mode time summed over trials.
+    pub fn total_degraded_ns(&self) -> Nanos {
+        self.runs.iter().map(RunMetrics::degraded_ns).sum()
+    }
+
+    /// Trials that ended with a [`SimError`].
+    pub fn error_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.error.is_some()).count()
     }
 }
 

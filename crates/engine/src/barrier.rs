@@ -89,6 +89,27 @@ impl BarrierSet {
         }
     }
 
+    /// Removes `tid` from every barrier permanently (the thread was
+    /// killed). It is withdrawn from any waiting list and stops counting
+    /// as a party; rounds completed by its departure release their
+    /// waiters, which are returned for waking.
+    pub fn depart(&mut self, tid: ThreadId) -> Vec<ThreadId> {
+        let mut released = Vec::new();
+        for b in &mut self.barriers {
+            if let Some(pos) = b.waiting.iter().position(|&w| w == tid) {
+                b.waiting.remove(pos);
+            }
+            if b.parties > 1 {
+                b.parties -= 1;
+                if b.waiting.len() == b.parties {
+                    b.generation += 1;
+                    released.extend(std::mem::take(&mut b.waiting));
+                }
+            }
+        }
+        released
+    }
+
     /// Completed rounds of barrier `id`.
     pub fn generation(&self, id: BarrierId) -> u64 {
         self.barriers[id].generation
@@ -145,6 +166,34 @@ mod tests {
         let released = bs.reduce_parties(b).unwrap();
         assert_eq!(released, vec![ThreadId(0), ThreadId(1)]);
         assert_eq!(bs.generation(b), 1);
+    }
+
+    #[test]
+    fn depart_releases_stranded_waiters() {
+        let mut bs = BarrierSet::new();
+        let b = bs.create(3);
+        bs.arrive(b, ThreadId(0));
+        bs.arrive(b, ThreadId(1));
+        // ThreadId(2) is killed before arriving: its departure completes
+        // the round.
+        assert_eq!(bs.depart(ThreadId(2)), vec![ThreadId(0), ThreadId(1)]);
+        assert_eq!(bs.generation(b), 1);
+        // The barrier now has 2 parties.
+        assert!(bs.arrive(b, ThreadId(0)).is_none());
+        assert!(bs.arrive(b, ThreadId(1)).is_some());
+    }
+
+    #[test]
+    fn depart_while_waiting_removes_the_thread() {
+        let mut bs = BarrierSet::new();
+        let b = bs.create(3);
+        bs.arrive(b, ThreadId(0));
+        // ThreadId(0) dies while blocked at the barrier; nobody else is
+        // waiting, so no round completes (2 parties remain, 0 waiting).
+        assert_eq!(bs.depart(ThreadId(0)), vec![]);
+        assert_eq!(bs.waiting(b), 0);
+        assert!(bs.arrive(b, ThreadId(1)).is_none());
+        assert!(bs.arrive(b, ThreadId(2)).is_some());
     }
 
     #[test]

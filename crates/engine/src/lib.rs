@@ -19,6 +19,8 @@
 //! * [`QueuedDevice`] — an analytic FIFO queue with `k` servers used to model
 //!   I/O devices; computes completion times at submit time, so no internal
 //!   events are needed.
+//! * [`faults`] — deterministic fault injection: per-seed I/O error rolls,
+//!   analytic device-stall windows, and memory-pressure step descriptions.
 //! * [`BarrierSet`] — simulation barriers for modeling bulk-synchronous
 //!   workloads.
 //! * [`rng`] — deterministic seed-derivation helpers so every trial is a pure
@@ -43,12 +45,14 @@
 mod barrier;
 mod device;
 mod event;
+pub mod faults;
 pub mod rng;
 mod sched;
 mod time;
 
 pub use barrier::{BarrierId, BarrierSet};
 pub use device::{DeviceStats, QueuedDevice};
+pub use faults::{FaultInjector, FaultPlan, FaultStats, IoError, IoResult, PressureStep, StallPlan};
 pub use event::EventQueue;
 pub use sched::{CoreId, DispatchDecision, SchedStats, Scheduler, ThreadClass, ThreadId};
 pub use time::{Nanos, SimTime, MICROSECOND, MILLISECOND, SECOND};

@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use pagesim_engine::{
-    DispatchDecision, EventQueue, QueuedDevice, Scheduler, SimTime, ThreadClass,
+    DispatchDecision, EventQueue, FaultInjector, FaultPlan, QueuedDevice, Scheduler, SimTime,
+    StallPlan, ThreadClass,
 };
 
 proptest! {
@@ -36,7 +37,10 @@ proptest! {
         let mut last_start = 0u64;
         for (gap, service) in reqs {
             now += gap;
-            let done = d.submit(SimTime::from_ns(now), service).as_ns();
+            let done = d
+                .submit(SimTime::from_ns(now), service)
+                .expect("fault-free device never errors")
+                .as_ns();
             // A request can never finish before its own service time.
             prop_assert!(done >= now + service);
             let start = done - service;
@@ -50,6 +54,56 @@ proptest! {
             }
             last_done = last_done.max(done);
         }
+    }
+
+    /// Under injected device stalls a FIFO device still loses nothing and
+    /// never reorders service: every submitted request completes, no
+    /// earlier than its own submit + service time, with monotone service
+    /// starts and monotone completions.
+    #[test]
+    fn stalled_device_loses_and_reorders_nothing(
+        seed in any::<u64>(),
+        period in 1_000u64..50_000,
+        duration_pct in 5u64..40,
+        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100),
+    ) {
+        let plan = FaultPlan {
+            stall: Some(StallPlan {
+                first_onset: 500,
+                period,
+                onset_jitter: period / 10,
+                duration: period * duration_pct / 100,
+                duration_jitter: period / 10,
+            }),
+            ..FaultPlan::none()
+        };
+        let mut d = QueuedDevice::new(1);
+        d.set_faults(FaultInjector::new(plan, seed));
+        let mut now = 0u64;
+        let mut last_start = 0u64;
+        let mut completions = Vec::new();
+        for &(gap, service) in &reqs {
+            now += gap;
+            let done = d
+                .submit(SimTime::from_ns(now), service)
+                .expect("stall-only plans never inject errors")
+                .as_ns();
+            prop_assert!(done >= now + service);
+            let start = done - service;
+            prop_assert!(
+                start >= last_start,
+                "service start reordered: {start} < {last_start}"
+            );
+            last_start = start;
+            completions.push(done);
+        }
+        // No request was lost, and the stall windows only delayed — never
+        // reordered — the completion stream.
+        prop_assert_eq!(completions.len(), reqs.len());
+        prop_assert!(
+            completions.windows(2).all(|w| w[0] <= w[1]),
+            "completions reordered"
+        );
     }
 
     /// Random dispatch/wake/block sequences keep the scheduler coherent:

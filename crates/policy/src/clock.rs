@@ -110,6 +110,11 @@ impl Policy for ClockLru {
         debug_assert_eq!(self.state[key as usize], Residence::None);
     }
 
+    fn forget(&mut self, key: PageKey) {
+        self.detach(key);
+        self.referenced[key as usize] = false;
+    }
+
     fn on_fd_access(&mut self, key: PageKey, _mem: &mut dyn MemView) {
         // mark_page_accessed: inactive+referenced -> active.
         match self.state[key as usize] {

@@ -109,6 +109,11 @@ pub trait Policy {
     /// The kernel finished evicting `key` (it was returned as a victim).
     fn on_page_evicted(&mut self, key: PageKey, mem: &mut dyn MemView);
 
+    /// Removes `key` from the policy's tracking outside the reclaim path
+    /// (OOM kill, task exit). Unlike [`on_page_evicted`](Policy::on_page_evicted),
+    /// the page may still be on a policy list; a no-op if it is not tracked.
+    fn forget(&mut self, key: PageKey);
+
     /// A file-descriptor access to a resident file-backed page (buffered
     /// I/O does not set PTE accessed bits; MG-LRU's tiers exist for this).
     fn on_fd_access(&mut self, key: PageKey, mem: &mut dyn MemView);

@@ -524,6 +524,13 @@ impl Policy for MgLru {
         debug_assert_eq!(self.meta[key as usize].seq, NONE_SEQ);
     }
 
+    fn forget(&mut self, key: PageKey) {
+        // `detach` is tolerant of untracked pages and resets seq/pos.
+        self.detach(key);
+        self.meta[key as usize].refs = 0;
+        self.meta[key as usize].tier = 0;
+    }
+
     fn on_fd_access(&mut self, key: PageKey, _mem: &mut dyn MemView) {
         let meta = self.meta[key as usize];
         if !meta.is_file || meta.seq == NONE_SEQ {

@@ -1,5 +1,6 @@
 //! Swap device models.
 
+use pagesim_engine::faults::{FaultInjector, IoError};
 use pagesim_engine::{Nanos, QueuedDevice, SimTime, MICROSECOND, MILLISECOND};
 
 use pagesim_mem::{EntropyClass, PAGE_SIZE};
@@ -28,6 +29,21 @@ pub struct IoOutcome {
     pub done_at: SimTime,
 }
 
+/// A failed device operation: the error plus the CPU the attempt still
+/// consumed on the calling thread (submit bookkeeping, the attempted
+/// compression). A rejected ZRAM write costs the same CPU as storing the
+/// page uncompressed would — the compressor ran, the result was discarded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FailedIo {
+    /// Why the operation failed.
+    pub error: IoError,
+    /// CPU charged to the caller despite the failure.
+    pub cpu_ns: Nanos,
+}
+
+/// Result of a fallible swap operation.
+pub type SwapResult = Result<IoOutcome, FailedIo>;
+
 /// Aggregate device counters.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct SwapStats {
@@ -39,6 +55,12 @@ pub struct SwapStats {
     pub read_queue_ns: Nanos,
     /// Total time write requests spent queued (SSD only).
     pub write_queue_ns: Nanos,
+    /// Operations rejected with an injected I/O error.
+    pub io_errors: u64,
+    /// ZRAM writes rejected because the compressed pool was at capacity.
+    pub pool_rejections: u64,
+    /// Total delay added by injected device-stall windows.
+    pub stall_delay_ns: Nanos,
 }
 
 /// A swap medium: allocates slots, stores/loads pages, reports costs.
@@ -46,6 +68,10 @@ pub struct SwapStats {
 /// The two implementations differ in *where* the cost lands, which is the
 /// crux of the paper's §V-D/§VI-B findings: SSD costs are mostly
 /// asynchronous wait, ZRAM costs are synchronous CPU work.
+///
+/// All I/O methods are fallible: a device carrying a fault plan can reject
+/// an operation with a typed error ([`FailedIo`]), and a bounded ZRAM pool
+/// rejects writes at capacity. Devices without faults never fail.
 pub trait SwapDevice {
     /// Medium kind.
     fn kind(&self) -> SwapKind;
@@ -55,17 +81,17 @@ pub trait SwapDevice {
     fn allocate_slot(&mut self) -> SwapSlot;
     /// Writes a page (swap-out). The page's entropy class drives
     /// compression accounting on ZRAM.
-    fn write(&mut self, now: SimTime, slot: SwapSlot, class: EntropyClass) -> IoOutcome;
+    fn write(&mut self, now: SimTime, slot: SwapSlot, class: EntropyClass) -> SwapResult;
     /// Reads a page back (swap-in).
-    fn read(&mut self, now: SimTime, slot: SwapSlot) -> IoOutcome;
+    fn read(&mut self, now: SimTime, slot: SwapSlot) -> SwapResult;
     /// Releases a slot after its page is read back in and remapped.
     fn release(&mut self, slot: SwapSlot);
     /// Reads one page of a backing file. Files live on the same simulated
     /// device as swap (a documented substitution — the simulator has one
     /// storage device).
-    fn file_read(&mut self, now: SimTime) -> IoOutcome;
+    fn file_read(&mut self, now: SimTime) -> SwapResult;
     /// Writes back one dirty file page.
-    fn file_write(&mut self, now: SimTime) -> IoOutcome;
+    fn file_write(&mut self, now: SimTime) -> SwapResult;
     /// Bytes currently stored (compressed bytes for ZRAM, slot bytes for
     /// SSD).
     fn used_bytes(&self) -> u64;
@@ -110,6 +136,20 @@ impl SsdDevice {
     pub fn with_paper_costs() -> Self {
         Self::new(7 * MILLISECOND + 500 * MICROSECOND, 7 * MILLISECOND + 500 * MICROSECOND, 2)
     }
+
+    /// Attaches a fault injector to the device queue.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.queue.set_faults(injector);
+        self
+    }
+
+    fn fail(&mut self, error: IoError) -> FailedIo {
+        self.stats.io_errors += 1;
+        FailedIo {
+            error,
+            cpu_ns: self.submit_cpu,
+        }
+    }
 }
 
 impl SwapDevice for SsdDevice {
@@ -125,26 +165,32 @@ impl SwapDevice for SsdDevice {
         self.slots.allocate()
     }
 
-    fn write(&mut self, now: SimTime, slot: SwapSlot, class: EntropyClass) -> IoOutcome {
+    fn write(&mut self, now: SimTime, slot: SwapSlot, class: EntropyClass) -> SwapResult {
+        let done_at = match self.queue.submit(now, self.write_service) {
+            Ok(t) => t,
+            Err(e) => return Err(self.fail(e)),
+        };
         self.stored.insert(slot, class);
-        let done_at = self.queue.submit(now, self.write_service);
         self.stats.writes += 1;
         self.stats.write_queue_ns += done_at.saturating_since(now) - self.write_service;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.submit_cpu,
             done_at,
-        }
+        })
     }
 
-    fn read(&mut self, now: SimTime, slot: SwapSlot) -> IoOutcome {
+    fn read(&mut self, now: SimTime, slot: SwapSlot) -> SwapResult {
         debug_assert!(self.stored.contains_key(&slot), "read of empty slot");
-        let done_at = self.queue.submit(now, self.read_service);
+        let done_at = match self.queue.submit(now, self.read_service) {
+            Ok(t) => t,
+            Err(e) => return Err(self.fail(e)),
+        };
         self.stats.reads += 1;
         self.stats.read_queue_ns += done_at.saturating_since(now) - self.read_service;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.submit_cpu,
             done_at,
-        }
+        })
     }
 
     fn release(&mut self, slot: SwapSlot) {
@@ -152,24 +198,30 @@ impl SwapDevice for SsdDevice {
         self.slots.release(slot);
     }
 
-    fn file_read(&mut self, now: SimTime) -> IoOutcome {
-        let done_at = self.queue.submit(now, self.read_service);
+    fn file_read(&mut self, now: SimTime) -> SwapResult {
+        let done_at = match self.queue.submit(now, self.read_service) {
+            Ok(t) => t,
+            Err(e) => return Err(self.fail(e)),
+        };
         self.stats.reads += 1;
         self.stats.read_queue_ns += done_at.saturating_since(now) - self.read_service;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.submit_cpu,
             done_at,
-        }
+        })
     }
 
-    fn file_write(&mut self, now: SimTime) -> IoOutcome {
-        let done_at = self.queue.submit(now, self.write_service);
+    fn file_write(&mut self, now: SimTime) -> SwapResult {
+        let done_at = match self.queue.submit(now, self.write_service) {
+            Ok(t) => t,
+            Err(e) => return Err(self.fail(e)),
+        };
         self.stats.writes += 1;
         self.stats.write_queue_ns += done_at.saturating_since(now) - self.write_service;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.submit_cpu,
             done_at,
-        }
+        })
     }
 
     fn used_bytes(&self) -> u64 {
@@ -181,12 +233,18 @@ impl SwapDevice for SsdDevice {
     }
 
     fn stats(&self) -> SwapStats {
-        self.stats
+        SwapStats {
+            stall_delay_ns: self.queue.fault_stats().stall_delay_ns,
+            ..self.stats
+        }
     }
 }
 
 /// ZRAM swap: compressed RAM. All cost is CPU time on the calling thread;
-/// pool usage is tracked with real per-class compressed sizes.
+/// pool usage is tracked with real per-class compressed sizes. The pool may
+/// be bounded ([`with_capacity`](ZramDevice::with_capacity)): writes that
+/// would exceed the bound are rejected with [`IoError::PoolFull`], charging
+/// the same CPU as a successful (uncompressed) store.
 #[derive(Debug)]
 pub struct ZramDevice {
     slots: SlotAllocator,
@@ -196,6 +254,8 @@ pub struct ZramDevice {
     write_cpu: Nanos,
     pool_bytes: u64,
     pool_high_water: u64,
+    capacity: Option<u64>,
+    faults: Option<FaultInjector>,
     stats: SwapStats,
 }
 
@@ -210,6 +270,8 @@ impl ZramDevice {
             write_cpu,
             pool_bytes: 0,
             pool_high_water: 0,
+            capacity: None,
+            faults: None,
             stats: SwapStats::default(),
         }
     }
@@ -219,14 +281,43 @@ impl ZramDevice {
         Self::new(20 * MICROSECOND, 35 * MICROSECOND)
     }
 
+    /// Bounds the compressed pool to `bytes`; writes that would exceed the
+    /// bound are rejected.
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+
+    /// Attaches a fault injector (error rolls only — ZRAM is synchronous,
+    /// so stall windows do not apply).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
     /// Peak compressed-pool usage over the device's lifetime.
     pub fn pool_high_water(&self) -> u64 {
         self.pool_high_water
     }
 
+    /// The configured pool bound, if any.
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+
     /// The compression model in use.
     pub fn compression(&self) -> &CompressionModel {
         &self.model
+    }
+
+    fn check_faults(&mut self, now: SimTime, cpu_ns: Nanos) -> Result<(), FailedIo> {
+        if let Some(f) = self.faults.as_mut() {
+            if let Err(error) = f.check(now) {
+                self.stats.io_errors += 1;
+                return Err(FailedIo { error, cpu_ns });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -243,27 +334,41 @@ impl SwapDevice for ZramDevice {
         self.slots.allocate()
     }
 
-    fn write(&mut self, now: SimTime, slot: SwapSlot, class: EntropyClass) -> IoOutcome {
+    fn write(&mut self, now: SimTime, slot: SwapSlot, class: EntropyClass) -> SwapResult {
+        self.check_faults(now, self.write_cpu)?;
         let size = self.model.stored_size(class);
-        if let Some(old) = self.stored.insert(slot, size) {
-            self.pool_bytes -= old as u64;
+        let replaced = self.stored.get(&slot).copied().unwrap_or(0) as u64;
+        let new_pool = self.pool_bytes - replaced + size as u64;
+        if let Some(cap) = self.capacity {
+            if new_pool > cap {
+                // Pool exhausted: the write is rejected. The compression
+                // attempt still cost a full write's CPU.
+                self.stats.io_errors += 1;
+                self.stats.pool_rejections += 1;
+                return Err(FailedIo {
+                    error: IoError::PoolFull,
+                    cpu_ns: self.write_cpu,
+                });
+            }
         }
-        self.pool_bytes += size as u64;
+        self.stored.insert(slot, size);
+        self.pool_bytes = new_pool;
         self.pool_high_water = self.pool_high_water.max(self.pool_bytes);
         self.stats.writes += 1;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.write_cpu,
             done_at: now + self.write_cpu,
-        }
+        })
     }
 
-    fn read(&mut self, now: SimTime, slot: SwapSlot) -> IoOutcome {
+    fn read(&mut self, now: SimTime, slot: SwapSlot) -> SwapResult {
         debug_assert!(self.stored.contains_key(&slot), "read of empty slot");
+        self.check_faults(now, self.read_cpu)?;
         self.stats.reads += 1;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.read_cpu,
             done_at: now + self.read_cpu,
-        }
+        })
     }
 
     fn release(&mut self, slot: SwapSlot) {
@@ -273,22 +378,24 @@ impl SwapDevice for ZramDevice {
         self.slots.release(slot);
     }
 
-    fn file_read(&mut self, now: SimTime) -> IoOutcome {
+    fn file_read(&mut self, now: SimTime) -> SwapResult {
         // Files are not in ZRAM; charge a ZRAM-speed read as the closest
         // single-device model (see trait docs).
+        self.check_faults(now, self.read_cpu)?;
         self.stats.reads += 1;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.read_cpu,
             done_at: now + self.read_cpu,
-        }
+        })
     }
 
-    fn file_write(&mut self, now: SimTime) -> IoOutcome {
+    fn file_write(&mut self, now: SimTime) -> SwapResult {
+        self.check_faults(now, self.write_cpu)?;
         self.stats.writes += 1;
-        IoOutcome {
+        Ok(IoOutcome {
             cpu_ns: self.write_cpu,
             done_at: now + self.write_cpu,
-        }
+        })
     }
 
     fn used_bytes(&self) -> u64 {
@@ -307,16 +414,17 @@ impl SwapDevice for ZramDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pagesim_engine::faults::FaultPlan;
 
     #[test]
     fn ssd_costs_are_queued() {
         let mut ssd = SsdDevice::new(100, 100, 1);
         let t0 = SimTime::ZERO;
         let slot_a = ssd.allocate_slot();
-        let a = ssd.write(t0, slot_a, EntropyClass::Text);
+        let a = ssd.write(t0, slot_a, EntropyClass::Text).unwrap();
         let slot_b = ssd.allocate_slot();
-        ssd.write(t0, slot_b, EntropyClass::Text);
-        let b = ssd.read(t0, slot_b);
+        ssd.write(t0, slot_b, EntropyClass::Text).unwrap();
+        let b = ssd.read(t0, slot_b).unwrap();
         assert_eq!(a.done_at.as_ns(), 100);
         // read waits behind two writes: this is the §VI-A pile-up behaviour
         assert_eq!(b.done_at.as_ns(), 300);
@@ -330,7 +438,7 @@ mod tests {
     fn ssd_paper_costs_land_at_7_5ms() {
         let mut ssd = SsdDevice::with_paper_costs();
         let s = ssd.allocate_slot();
-        let w = ssd.write(SimTime::ZERO, s, EntropyClass::Text);
+        let w = ssd.write(SimTime::ZERO, s, EntropyClass::Text).unwrap();
         assert_eq!(w.done_at.as_ns(), 7_500_000);
     }
 
@@ -338,10 +446,10 @@ mod tests {
     fn zram_costs_are_cpu_bound() {
         let mut z = ZramDevice::with_paper_costs();
         let s = z.allocate_slot();
-        let w = z.write(SimTime::from_ns(1000), s, EntropyClass::Text);
+        let w = z.write(SimTime::from_ns(1000), s, EntropyClass::Text).unwrap();
         assert_eq!(w.cpu_ns, 35_000);
         assert_eq!(w.done_at.as_ns(), 1000 + 35_000);
-        let r = z.read(SimTime::from_ns(50_000), s);
+        let r = z.read(SimTime::from_ns(50_000), s).unwrap();
         assert_eq!(r.cpu_ns, 20_000);
         assert_eq!(r.done_at.as_ns(), 70_000);
     }
@@ -351,9 +459,9 @@ mod tests {
         let mut z = ZramDevice::with_paper_costs();
         let s1 = z.allocate_slot();
         let s2 = z.allocate_slot();
-        z.write(SimTime::ZERO, s1, EntropyClass::Random);
+        z.write(SimTime::ZERO, s1, EntropyClass::Random).unwrap();
         let after_random = z.used_bytes();
-        z.write(SimTime::ZERO, s2, EntropyClass::Zero);
+        z.write(SimTime::ZERO, s2, EntropyClass::Zero).unwrap();
         let after_zero = z.used_bytes() - after_random;
         assert!(after_random > PAGE_SIZE as u64, "raw + header");
         assert!(after_zero < 64, "zero page nearly free: {after_zero}");
@@ -367,7 +475,7 @@ mod tests {
     fn ssd_used_bytes_counts_slots() {
         let mut ssd = SsdDevice::new(10, 10, 1);
         let s = ssd.allocate_slot();
-        ssd.write(SimTime::ZERO, s, EntropyClass::Random);
+        ssd.write(SimTime::ZERO, s, EntropyClass::Random).unwrap();
         assert_eq!(ssd.used_bytes(), PAGE_SIZE as u64);
         ssd.release(s);
         assert_eq!(ssd.used_bytes(), 0);
@@ -377,9 +485,9 @@ mod tests {
     fn rewrite_same_slot_replaces_bytes() {
         let mut z = ZramDevice::with_paper_costs();
         let s = z.allocate_slot();
-        z.write(SimTime::ZERO, s, EntropyClass::Random);
+        z.write(SimTime::ZERO, s, EntropyClass::Random).unwrap();
         let big = z.used_bytes();
-        z.write(SimTime::ZERO, s, EntropyClass::Zero);
+        z.write(SimTime::ZERO, s, EntropyClass::Zero).unwrap();
         assert!(z.used_bytes() < big);
     }
 
@@ -389,5 +497,75 @@ mod tests {
         assert_eq!(ZramDevice::with_paper_costs().kind(), SwapKind::Zram);
         assert_eq!(SsdDevice::with_paper_costs().name(), "ssd");
         assert_eq!(ZramDevice::with_paper_costs().name(), "zram");
+    }
+
+    #[test]
+    fn bounded_pool_rejects_at_capacity_and_high_water_respects_bound() {
+        // Random pages store PAGE_SIZE + header each; cap the pool at two.
+        let per_page = CompressionModel::build().stored_size(EntropyClass::Random) as u64;
+        let cap = 2 * per_page;
+        let mut z = ZramDevice::with_paper_costs().with_capacity(cap);
+        let s1 = z.allocate_slot();
+        let s2 = z.allocate_slot();
+        let s3 = z.allocate_slot();
+        z.write(SimTime::ZERO, s1, EntropyClass::Random).unwrap();
+        z.write(SimTime::ZERO, s2, EntropyClass::Random).unwrap();
+        let rejected = z.write(SimTime::ZERO, s3, EntropyClass::Random).unwrap_err();
+        assert_eq!(rejected.error, IoError::PoolFull);
+        // The failed compression still costs a full write of CPU.
+        assert_eq!(rejected.cpu_ns, 35_000);
+        assert!(z.pool_high_water() <= cap, "high water exceeded capacity");
+        assert_eq!(z.stats().pool_rejections, 1);
+        assert_eq!(z.stats().io_errors, 1);
+        assert_eq!(z.stats().writes, 2, "rejected write must not count");
+        // Once space is released, a small page fits again.
+        z.release(s1);
+        z.write(SimTime::ZERO, s3, EntropyClass::Zero).unwrap();
+        assert!(z.pool_high_water() <= cap);
+    }
+
+    #[test]
+    fn unbounded_pool_never_rejects() {
+        let mut z = ZramDevice::with_paper_costs();
+        for _ in 0..64 {
+            let s = z.allocate_slot();
+            z.write(SimTime::ZERO, s, EntropyClass::Random).unwrap();
+        }
+        assert_eq!(z.stats().pool_rejections, 0);
+    }
+
+    #[test]
+    fn ssd_with_permanent_failure_errors_and_counts() {
+        let mut ssd = SsdDevice::new(100, 100, 1).with_faults(FaultInjector::new(
+            FaultPlan {
+                fail_permanently_at: Some(0),
+                ..FaultPlan::none()
+            },
+            7,
+        ));
+        let s = ssd.allocate_slot();
+        let err = ssd.write(SimTime::ZERO, s, EntropyClass::Text).unwrap_err();
+        assert_eq!(err.error, IoError::Permanent);
+        assert_eq!(err.cpu_ns, 2 * MICROSECOND);
+        assert_eq!(ssd.stats().io_errors, 1);
+        assert_eq!(ssd.stats().writes, 0, "failed write must not count");
+    }
+
+    #[test]
+    fn zram_with_error_rate_one_rejects_reads() {
+        let mut z = ZramDevice::with_paper_costs();
+        let s = z.allocate_slot();
+        z.write(SimTime::ZERO, s, EntropyClass::Text).unwrap();
+        let mut z = ZramDevice::with_paper_costs().with_faults(FaultInjector::new(
+            FaultPlan {
+                error_rate: 1.0,
+                ..FaultPlan::none()
+            },
+            7,
+        ));
+        let s = z.allocate_slot();
+        let err = z.write(SimTime::ZERO, s, EntropyClass::Text).unwrap_err();
+        assert_eq!(err.error, IoError::Transient);
+        assert_eq!(z.stats().io_errors, 1);
     }
 }

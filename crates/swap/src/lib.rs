@@ -25,7 +25,7 @@
 //!
 //! let mut zram = ZramDevice::with_paper_costs();
 //! let slot = zram.allocate_slot();
-//! let w = zram.write(SimTime::ZERO, slot, EntropyClass::Text);
+//! let w = zram.write(SimTime::ZERO, slot, EntropyClass::Text).unwrap();
 //! assert!(w.cpu_ns >= 35_000); // paper's 35us write, CPU-bound
 //! assert!(zram.used_bytes() > 0);
 //! ```
@@ -38,5 +38,5 @@ mod device;
 mod slots;
 
 pub use compress::{compress, decompress, page_for_class, CompressionModel};
-pub use device::{IoOutcome, SsdDevice, SwapDevice, SwapKind, SwapStats, ZramDevice};
+pub use device::{FailedIo, IoOutcome, SsdDevice, SwapDevice, SwapKind, SwapResult, SwapStats, ZramDevice};
 pub use slots::{SlotAllocator, SwapSlot};

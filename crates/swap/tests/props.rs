@@ -59,7 +59,8 @@ proptest! {
         for (write, class) in ops {
             if write {
                 let slot = z.allocate_slot();
-                z.write(SimTime::ZERO, slot, classes[class as usize]);
+                z.write(SimTime::ZERO, slot, classes[class as usize])
+                    .expect("unbounded pool accepts every write");
                 live.push(slot);
             } else if let Some(slot) = live.pop() {
                 z.release(slot);

@@ -3,7 +3,8 @@
 //! trial-to-trial variation comes from the modeled sources, not from
 //! incidental nondeterminism in the simulator.
 
-use pagesim::{Experiment, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim::{Experiment, FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
+use pagesim_engine::{FaultPlan, PressureStep, StallPlan, MILLISECOND, SECOND};
 use pagesim_workloads::pagerank::{PageRankConfig, PageRankWorkload};
 use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
 use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
@@ -64,6 +65,74 @@ fn different_seeds_diverge() {
         a.runtime_ns != b.runtime_ns || a.major_faults != b.major_faults,
         "seed must matter"
     );
+}
+
+/// A plan that engages every fault path at tiny-workload timescales:
+/// transient errors, stall windows, a pressure balloon, and the OOM killer.
+fn aggressive_faults() -> FaultConfig {
+    FaultConfig {
+        plan: FaultPlan {
+            error_rate: 0.02,
+            fail_permanently_at: None,
+            stall: Some(StallPlan {
+                first_onset: MILLISECOND,
+                period: 4 * MILLISECOND,
+                onset_jitter: 200_000,
+                duration: 800_000,
+                duration_jitter: 200_000,
+            }),
+            pressure: vec![PressureStep {
+                at: 500_000,
+                frac: 0.2,
+                duration: SECOND,
+            }],
+        },
+        oom_after_stalls: Some(64),
+        ..FaultConfig::none()
+    }
+}
+
+#[test]
+fn faulty_runs_replay_byte_identically() {
+    // Same seed + same fault plan -> byte-identical reports, for both
+    // policies and both media. The Debug rendering covers every counter,
+    // histogram summary, and the error field at once.
+    let w = TpchWorkload::new(TpchConfig::tiny());
+    for (policy, swap) in [
+        (PolicyChoice::Clock, SwapChoice::Ssd),
+        (PolicyChoice::MgLruDefault, SwapChoice::Zram),
+    ] {
+        let e = Experiment::new(config(policy, swap).faults(aggressive_faults()));
+        let a = e.run(&w, 41);
+        let b = e.run(&w, 41);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{} on {swap:?} must replay under faults",
+            policy.label()
+        );
+        let c = e.run(&w, 42);
+        assert_ne!(
+            format!("{a:?}"),
+            format!("{c:?}"),
+            "different seeds must draw different fault sequences"
+        );
+    }
+}
+
+#[test]
+fn default_fault_config_is_zero_drift() {
+    // A config that never mentions faults and one with the explicit empty
+    // fault model must produce byte-identical reports.
+    let w = YcsbWorkload::new(YcsbConfig::tiny(YcsbMix::A), 5);
+    let base = config(PolicyChoice::MgLruDefault, SwapChoice::Ssd);
+    let with_none = base.clone().faults(FaultConfig::none());
+    let a = Experiment::new(base).run(&w, 9);
+    let b = Experiment::new(with_none).run(&w, 9);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(a.io_errors, 0);
+    assert_eq!(a.oom_kills, 0);
+    assert_eq!(a.error, None);
 }
 
 #[test]

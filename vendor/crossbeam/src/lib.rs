@@ -1,0 +1,67 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the one entry point it uses: `crossbeam::scope`, implemented over
+//! `std::thread::scope` (stable since 1.63). The closure signature matches
+//! crossbeam's — spawned closures receive the scope handle so they could
+//! spawn nested threads — and `scope` returns `Err` if any spawned thread
+//! panicked, like the original.
+
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle for spawning threads inside a [`scope`] call.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; it is joined before [`scope`] returns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope handle; all spawned threads are joined before
+/// this returns. `Err` carries the payload of the first panic observed
+/// (from a spawned thread or from `f` itself).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_see_borrowed_state() {
+        let counter = AtomicU32::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            7u32
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let out = super::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(out.is_err());
+    }
+}
