@@ -1,17 +1,30 @@
 //! `repro` — regenerates every figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|default|paper] [--seed N] [fig1 fig2 ... | faults | all]
+//! repro [--scale smoke|default|paper] [--seed N] [--jobs N]
+//!       [--cache-dir DIR | --no-cache] [fig1 fig2 ... | faults | all]
 //! ```
 //!
 //! Each subcommand prints the same normalized series the corresponding
-//! figure of the paper plots. Cells shared between figures run once.
+//! figure of the paper plots. Before rendering, every cell the requested
+//! figures need is precomputed by the sweep executor: `--jobs N` worker
+//! threads (default: all cores) drain the trial queue, consulting a
+//! content-addressed cell cache (default `.pagesim-cache/`, `--cache-dir`
+//! to relocate, `--no-cache` to disable). Figure output on stdout is
+//! byte-identical regardless of `--jobs` and cache state; the sweep
+//! summary goes to stderr.
 
 use pagesim::experiments::{self, Bench, Scale, Wl};
+use pagesim_bench::sweep::{default_jobs, run_sweep, SweepOptions};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale smoke|default|paper] [--seed N] [fig1..fig12 | faults | all]\n\
+        "usage: repro [--scale smoke|default|paper] [--seed N] [--jobs N]\n\
+         \x20            [--cache-dir DIR | --no-cache] [fig1..fig12 | faults | all]\n\
+         \n\
+         --jobs N       sweep worker threads (default: all cores)\n\
+         --cache-dir D  cell cache directory (default: .pagesim-cache)\n\
+         --no-cache     disable the on-disk cell cache\n\
          \n\
          fig1   mean runtime & faults, MG-LRU vs Clock (SSD, 50%)\n\
          fig2   joint runtime/fault distributions, Clock vs MG-LRU\n\
@@ -33,6 +46,8 @@ fn usage() -> ! {
 fn main() {
     let mut scale = Scale::default_scale();
     let mut figs: Vec<String> = Vec::new();
+    let mut jobs = default_jobs();
+    let mut cache_dir = Some(std::path::PathBuf::from(".pagesim-cache"));
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -53,6 +68,18 @@ fn main() {
                 let v = args.next().unwrap_or_else(|| usage());
                 scale.trials = v.parse().unwrap_or_else(|_| usage());
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--cache-dir" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cache_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--no-cache" => cache_dir = None,
             "-h" | "--help" => usage(),
             other => figs.push(other.to_owned()),
         }
@@ -62,6 +89,13 @@ fn main() {
     }
 
     let bench = Bench::new(scale);
+    let opts = SweepOptions { jobs, cache_dir };
+    let t0 = std::time::Instant::now();
+    let stats = run_sweep(&bench, &figs, &opts);
+    eprintln!(
+        "# {stats}, jobs={jobs}, {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
     println!(
         "# pagesim repro — trials/cell: {}, footprint factor: {:.2}, seed: {}",
         scale.trials, scale.footprint, scale.seed

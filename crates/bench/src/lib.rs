@@ -10,12 +10,20 @@
 //!   reclaim paths, end-to-end runs);
 //! * `benches/ablations.rs` sweeps the MG-LRU design choices DESIGN.md
 //!   calls out (bloom sizing/threshold, eviction lookaround, generation
-//!   count, scan modes).
+//!   count, scan modes);
+//! * [`sweep`] is the deterministic parallel sweep executor behind
+//!   `repro`'s `--jobs`/`--cache-dir`/`--no-cache` flags: it enumerates
+//!   figure cells, runs trials on a worker pool with a content-addressed
+//!   on-disk cache, and installs byte-identical results regardless of
+//!   worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 pub use pagesim::experiments::Scale;
+pub use sweep::{run_sweep, SweepOptions, SweepStats};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,238 @@
+//! Deterministic parallel sweep executor with a content-addressed cell
+//! cache.
+//!
+//! The figure drivers in `pagesim::experiments` are lazy: each calls
+//! `Bench::cell` for the cells it plots and computes them on first use.
+//! This module turns a figure list into an explicit work plan instead:
+//!
+//! 1. **Enumerate** — `pagesim::experiments::figure_cells` expands every
+//!    requested figure into its grid of [`CellQuery`]s; duplicates across
+//!    figures collapse on the cell content key, and each surviving cell
+//!    fans out into `trials` independent [`CellSpec`]s.
+//! 2. **Execute** — a fixed pool of `jobs` worker threads drains the spec
+//!    queue (an atomic cursor over the spec list) and sends each result
+//!    over a channel. Workers first consult the on-disk cache: the file
+//!    name is the trial's content hash (config + seed + trial + crate
+//!    version), so a hit can skip the simulation entirely.
+//! 3. **Merge** — results are placed by spec index and folded into
+//!    [`TrialSet`]s in canonical (enumeration) order, then installed into
+//!    the bench. Because a trial's metrics depend only on its spec — never
+//!    on scheduling — figure output is byte-identical for any `jobs` value
+//!    and any cache state.
+//!
+//! Nothing here writes to stdout; progress and the final summary belong to
+//! stderr so `repro`'s figure stream stays byte-comparable.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use pagesim::experiments::{figure_cells, Bench, CellQuery, CellSpec};
+use pagesim::{RunMetrics, TrialSet};
+
+/// How the sweep runs: worker count and cache placement.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Worker threads. `1` executes trials strictly serially.
+    pub jobs: usize,
+    /// Cell cache directory; `None` disables the cache entirely.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            jobs: default_jobs(),
+            cache_dir: None,
+        }
+    }
+}
+
+/// The default worker count: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// What a sweep did, for the stderr summary and for tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Distinct cells planned (after cross-figure dedup).
+    pub cells: usize,
+    /// Trials planned (`cells * trials_per_cell`).
+    pub trials: usize,
+    /// Trials served from the on-disk cache.
+    pub cache_hits: usize,
+    /// Trials simulated (cache disabled, cold, or invalid entry).
+    pub cache_misses: usize,
+}
+
+impl SweepStats {
+    /// Cache hit rate over planned trials (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.trials as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep: {} cells / {} trials, cache: {} hits / {} misses",
+            self.cells, self.trials, self.cache_hits, self.cache_misses
+        )
+    }
+}
+
+/// Expands `figs` into the deduplicated cell plan, in canonical order:
+/// figures in the order given, each figure's grid in driver order, first
+/// occurrence wins. Cells already resident in `bench` are excluded.
+pub fn plan_cells(bench: &Bench, figs: &[String]) -> Vec<CellQuery> {
+    let mut seen = std::collections::HashSet::new();
+    let mut plan = Vec::new();
+    for fig in figs {
+        for q in figure_cells(fig) {
+            let key = (q.wl, q.system_config().stable_hash());
+            if seen.insert(key) && !bench.has_cell(&q) {
+                plan.push(q);
+            }
+        }
+    }
+    plan
+}
+
+/// Expands a cell plan into per-trial work units, cell-major: the specs of
+/// cell `i` occupy indices `i*trials .. (i+1)*trials`.
+pub fn plan_specs(bench: &Bench, plan: &[CellQuery]) -> Vec<CellSpec> {
+    let trials = bench.scale().trials;
+    plan.iter()
+        .flat_map(|q| {
+            (0..trials).map(move |trial| CellSpec {
+                query: q.clone(),
+                trial,
+            })
+        })
+        .collect()
+}
+
+/// Runs every cell the given figures need and installs the results into
+/// `bench`, so the figure drivers render entirely from cache. Returns the
+/// sweep statistics. Output is deterministic: for a fixed bench scale the
+/// installed cells are byte-identical regardless of `jobs`, cache state,
+/// or completion order.
+pub fn run_sweep(bench: &Bench, figs: &[String], opts: &SweepOptions) -> SweepStats {
+    let plan = plan_cells(bench, figs);
+    let specs = plan_specs(bench, &plan);
+    let trials = bench.scale().trials as usize;
+    let mut stats = SweepStats {
+        cells: plan.len(),
+        trials: specs.len(),
+        ..SweepStats::default()
+    };
+    if specs.is_empty() {
+        return stats;
+    }
+    if let Some(dir) = &opts.cache_dir {
+        // Failing to create the cache dir downgrades to cache-off rather
+        // than aborting the sweep; the summary's miss count exposes it.
+        let _ = fs::create_dir_all(dir);
+    }
+
+    let hits = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, RunMetrics)>();
+    let workers = opts.jobs.clamp(1, specs.len());
+    let mut slots: Vec<Option<RunMetrics>> = vec![None; specs.len()];
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (specs, cursor, hits) = (&specs, &cursor, &hits);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let cached = opts
+                    .cache_dir
+                    .as_deref()
+                    .and_then(|dir| cache_load(dir, bench, spec));
+                let metrics = match cached {
+                    Some(m) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        m
+                    }
+                    None => {
+                        let m = bench.run_trial(&spec.query, spec.trial);
+                        if let Some(dir) = opts.cache_dir.as_deref() {
+                            cache_store(dir, bench, spec, &m, i);
+                        }
+                        m
+                    }
+                };
+                if tx.send((i, metrics)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, metrics) in rx {
+            slots[i] = Some(metrics);
+        }
+    });
+
+    stats.cache_hits = hits.load(Ordering::Relaxed) as usize;
+    stats.cache_misses = stats.trials - stats.cache_hits;
+
+    let mut runs = slots.into_iter().map(|s| s.expect("sweep trial missing"));
+    for q in &plan {
+        let set = TrialSet {
+            runs: runs.by_ref().take(trials).collect(),
+        };
+        bench.install_cell(q, set);
+    }
+    stats
+}
+
+/// The cache file for one trial: named by the trial content hash, carrying
+/// the human-readable identity for inspection and collision detection.
+fn cache_path(dir: &Path, bench: &Bench, spec: &CellSpec) -> (PathBuf, String) {
+    let hash = bench.trial_content_hash(&spec.query, spec.trial);
+    let ident = format!("{} trial {}", spec.query.ident(), spec.trial);
+    (dir.join(format!("{hash:016x}.cell")), ident)
+}
+
+fn cache_load(dir: &Path, bench: &Bench, spec: &CellSpec) -> Option<RunMetrics> {
+    let (path, ident) = cache_path(dir, bench, spec);
+    let text = fs::read_to_string(path).ok()?;
+    let (header, body) = text.split_once('\n')?;
+    // The stored identity must match the expected one exactly: a 64-bit
+    // file-name collision between different cells must read as a miss,
+    // never as someone else's metrics.
+    if header != format!("pagesim-cell {ident}") {
+        return None;
+    }
+    RunMetrics::from_cache_text(body)
+}
+
+fn cache_store(dir: &Path, bench: &Bench, spec: &CellSpec, metrics: &RunMetrics, tag: usize) {
+    let (path, ident) = cache_path(dir, bench, spec);
+    // Write-then-rename so a concurrent reader never sees a torn entry;
+    // the spec index makes the temp name unique within this sweep. Cache
+    // writes are best-effort: any failure just means a future miss.
+    let tmp = path.with_extension(format!("tmp{tag}"));
+    let write = || -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        writeln!(f, "pagesim-cell {ident}")?;
+        f.write_all(metrics.to_cache_text().as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, &path)
+    };
+    if write().is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}

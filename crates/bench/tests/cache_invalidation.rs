@@ -1,0 +1,204 @@
+//! Cache-key soundness at the sweep level: a cached trial may only be
+//! reused for the *exact* experiment that produced it. Any meaningful
+//! change — a policy knob, the master seed, the crate version, the scale
+//! footprint, the fault plan — must read as a miss; unrelated experiments
+//! sharing cells must read as hits.
+
+use std::path::PathBuf;
+
+use pagesim::experiments::{Bench, CellQuery, CellSpec, Scale, Wl};
+use pagesim::{PolicyChoice, SwapChoice};
+use pagesim_bench::sweep::{plan_cells, run_sweep, SweepOptions};
+use pagesim_policy::MgLruConfig;
+
+fn bench_with(seed: u64) -> Bench {
+    Bench::new(Scale {
+        trials: 2,
+        footprint: 0.12,
+        seed,
+    })
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pagesim-inval-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(dir: &std::path::Path) -> SweepOptions {
+    SweepOptions {
+        jobs: 2,
+        cache_dir: Some(dir.to_path_buf()),
+    }
+}
+
+#[test]
+fn policy_knob_flip_changes_every_trial_key() {
+    let bench = bench_with(7);
+    let base = CellQuery::healthy(Wl::Tpch, PolicyChoice::MgLruDefault, SwapChoice::Ssd, 0.5);
+
+    let mut tweaked_cfg = MgLruConfig::kernel_default();
+    tweaked_cfg.bloom_shift += 1;
+    let tweaked = CellQuery::healthy(
+        Wl::Tpch,
+        PolicyChoice::MgLruCustom(tweaked_cfg),
+        SwapChoice::Ssd,
+        0.5,
+    );
+    // Same resolved config through a different constructor: *same* key.
+    let aliased = CellQuery::healthy(
+        Wl::Tpch,
+        PolicyChoice::MgLruCustom(MgLruConfig::kernel_default()),
+        SwapChoice::Ssd,
+        0.5,
+    );
+
+    for trial in 0..2 {
+        let h = bench.trial_content_hash(&base, trial);
+        assert_ne!(
+            h,
+            bench.trial_content_hash(&tweaked, trial),
+            "one flipped MG-LRU knob must invalidate trial {trial}"
+        );
+        assert_eq!(
+            h,
+            bench.trial_content_hash(&aliased, trial),
+            "an identical resolved config must share trial {trial}'s entry"
+        );
+    }
+}
+
+#[test]
+fn seed_footprint_version_and_trial_change_the_key() {
+    let q = CellQuery::healthy(Wl::YcsbA, PolicyChoice::Clock, SwapChoice::Ssd, 0.5);
+    let base = bench_with(7).trial_content_hash(&q, 0);
+
+    assert_ne!(
+        base,
+        bench_with(8).trial_content_hash(&q, 0),
+        "master seed must enter the key"
+    );
+    assert_ne!(
+        base,
+        bench_with(7).trial_content_hash(&q, 1),
+        "trial index must enter the key"
+    );
+    assert_ne!(
+        base,
+        Bench::new(Scale {
+            trials: 2,
+            footprint: 0.2,
+            seed: 7,
+        })
+        .trial_content_hash(&q, 0),
+        "workload footprint must enter the key"
+    );
+    assert_ne!(
+        base,
+        bench_with(7).trial_content_hash_versioned(&q, 0, "some-future-version"),
+        "crate version must enter the key"
+    );
+}
+
+#[test]
+fn fault_plan_enters_the_key() {
+    let bench = bench_with(7);
+    let healthy = CellQuery::healthy(Wl::Tpch, PolicyChoice::Clock, SwapChoice::Ssd, 0.5);
+    let faulted = CellQuery::faulted(
+        Wl::Tpch,
+        PolicyChoice::Clock,
+        SwapChoice::Ssd,
+        0.5,
+        pagesim::FaultConfig::stalling_ssd(),
+    );
+    assert_ne!(
+        bench.trial_content_hash(&healthy, 0),
+        bench.trial_content_hash(&faulted, 0)
+    );
+}
+
+/// An unrelated figure whose grid is a subset of an already-swept one must
+/// be served entirely from cache; a different-seed sweep over the same
+/// grid must not hit at all.
+#[test]
+fn cross_figure_hits_and_cross_seed_misses() {
+    let dir = scratch_dir("cross");
+
+    // fig1's grid strictly contains fig2's (all workloads vs TPC-H and
+    // PageRank only, same policies/swap/ratio).
+    let cold = run_sweep(&bench_with(7), &["fig1".to_string()], &opts(&dir));
+    assert_eq!(cold.cache_hits, 0);
+
+    let fig2 = run_sweep(&bench_with(7), &["fig2".to_string()], &opts(&dir));
+    assert_eq!(
+        fig2.cache_hits, fig2.trials,
+        "every fig2 cell was already swept for fig1"
+    );
+    assert_eq!(fig2.cache_misses, 0);
+    assert!(fig2.hit_rate() >= 0.95);
+
+    let reseeded = run_sweep(&bench_with(99), &["fig2".to_string()], &opts(&dir));
+    assert_eq!(
+        reseeded.cache_hits, 0,
+        "a different master seed must never reuse cached trials"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted or truncated cache entry reads as a miss and is rebuilt,
+/// never served.
+#[test]
+fn corrupt_cache_entries_are_recomputed() {
+    let dir = scratch_dir("corrupt");
+    let figs = vec!["fig2".to_string()];
+
+    let cold = run_sweep(&bench_with(7), &figs, &opts(&dir));
+    assert!(cold.trials > 0);
+
+    // Mangle every cached entry a different way: truncate, garble the
+    // identity header, and inject a non-numeric field value.
+    for (i, entry) in std::fs::read_dir(&dir).unwrap().enumerate() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled = match i % 3 {
+            0 => text[..text.len() / 2].to_string(),
+            1 => text.replacen("pagesim-cell", "pagesim-cell-not", 1),
+            _ => text.replacen("runtime_ns ", "runtime_ns x", 1),
+        };
+        std::fs::write(&path, mangled).unwrap();
+    }
+
+    let warm_bench = bench_with(7);
+    let warm = run_sweep(&warm_bench, &figs, &opts(&dir));
+    assert_eq!(
+        warm.cache_hits, 0,
+        "corrupted entries must read as misses, not parse as metrics"
+    );
+
+    // And the rebuilt entries must round-trip again.
+    let again = run_sweep(&bench_with(7), &figs, &opts(&dir));
+    assert_eq!(again.cache_hits, again.trials);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The planner dedups shared cells across figures and skips resident ones.
+#[test]
+fn planner_dedups_and_skips_resident_cells() {
+    let bench = bench_with(7);
+    let figs: Vec<String> = ["fig1", "fig2"].iter().map(|s| s.to_string()).collect();
+    let plan = plan_cells(&bench, &figs);
+    // fig2 ⊂ fig1: 5 workloads × 2 policies, nothing more.
+    assert_eq!(plan.len(), 10, "fig2's cells must collapse into fig1's");
+
+    // Materialize one cell; replanning must exclude it.
+    let spec = CellSpec {
+        query: plan[0].clone(),
+        trial: 0,
+    };
+    let m0 = bench.run_trial(&spec.query, 0);
+    let m1 = bench.run_trial(&spec.query, 1);
+    bench.install_cell(&spec.query, pagesim::TrialSet { runs: vec![m0, m1] });
+    assert_eq!(plan_cells(&bench, &figs).len(), 9);
+}

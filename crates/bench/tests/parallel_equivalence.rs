@@ -1,0 +1,229 @@
+//! Golden-equivalence tests for the sweep executor: figure output must be
+//! byte-identical whether cells are computed lazily by the drivers, by a
+//! serial sweep, by a parallel sweep, or replayed from a warm cache.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pagesim::experiments::{self, Bench, Scale};
+use pagesim_bench::sweep::{run_sweep, SweepOptions};
+
+/// Small enough to keep the suite fast, big enough to exercise every
+/// driver family (normalized means, joint distributions, tails, ZRAM,
+/// fault injection).
+const FIGS: &[&str] = &["fig1", "fig2", "fig3", "fig11", "faults"];
+
+fn tiny_bench() -> Bench {
+    Bench::new(Scale {
+        trials: 2,
+        footprint: 0.12,
+        seed: 7,
+    })
+}
+
+fn fig_strings() -> Vec<String> {
+    FIGS.iter().map(|f| f.to_string()).collect()
+}
+
+/// Renders the test figures exactly the way `repro` does.
+fn render(bench: &Bench) -> String {
+    let mut out = String::new();
+    for fig in FIGS {
+        out.push_str(&match *fig {
+            "fig1" => experiments::fig1(bench).to_string(),
+            "fig2" => experiments::fig2(bench).to_string(),
+            "fig3" => experiments::fig3(bench).to_string(),
+            "fig11" => experiments::fig11(bench).to_string(),
+            "faults" => experiments::faults(bench).to_string(),
+            other => panic!("unknown fig {other}"),
+        });
+        out.push('\n');
+    }
+    out
+}
+
+fn no_cache(jobs: usize) -> SweepOptions {
+    SweepOptions {
+        jobs,
+        cache_dir: None,
+    }
+}
+
+/// A unique scratch cache directory per test (no tempfile crate in the
+/// offline build).
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pagesim-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sweep_output_is_independent_of_worker_count_and_lazy_path() {
+    let lazy = tiny_bench();
+    let golden = render(&lazy); // drivers compute cells themselves
+
+    for jobs in [1, 4] {
+        let bench = tiny_bench();
+        let stats = run_sweep(&bench, &fig_strings(), &no_cache(jobs));
+        assert!(stats.cells > 0 && stats.trials == stats.cells * 2);
+        assert_eq!(stats.cache_misses, stats.trials, "cache is disabled");
+        assert_eq!(
+            render(&bench),
+            golden,
+            "jobs={jobs} sweep diverged from the lazy driver path"
+        );
+    }
+}
+
+#[test]
+fn sweep_precomputes_every_cell_the_figures_need() {
+    let bench = tiny_bench();
+    run_sweep(&bench, &fig_strings(), &no_cache(2));
+    let computed_by_sweep_fallback = bench.cells_computed();
+    render(&bench);
+    assert_eq!(
+        bench.cells_computed(),
+        computed_by_sweep_fallback,
+        "a figure driver had to compute a cell the sweep enumeration missed"
+    );
+    assert_eq!(
+        computed_by_sweep_fallback, 0,
+        "the sweep itself must install cells, not fall back to Bench::query"
+    );
+}
+
+/// The enumeration covers *all* figures, not just the rendered subset:
+/// for each known figure id, the planned cells must satisfy its driver.
+/// One bench is shared across figures (cells resident from earlier
+/// figures are skipped by the planner), so this also exercises the
+/// incremental-sweep path.
+#[test]
+fn enumeration_covers_every_figure_id() {
+    let bench = Bench::new(Scale {
+        trials: 2,
+        footprint: 0.08,
+        seed: 7,
+    });
+    for fig in experiments::figure_ids() {
+        run_sweep(&bench, &[fig.to_string()], &no_cache(2));
+        let computed_before_render = bench.cells_computed();
+        match fig {
+            "fig1" => drop(experiments::fig1(&bench)),
+            "fig2" => drop(experiments::fig2(&bench)),
+            "fig3" => drop(experiments::fig3(&bench)),
+            "fig4" => drop(experiments::fig4(&bench)),
+            "fig5" => drop(experiments::fig5(&bench)),
+            "fig6" => drop(experiments::fig6(&bench)),
+            "fig7" => drop(experiments::fig7(&bench)),
+            "fig8" => drop(experiments::fig8(&bench)),
+            "fig9" => drop(experiments::fig9(&bench)),
+            "fig10" => drop(experiments::fig10(&bench)),
+            "fig11" => drop(experiments::fig11(&bench)),
+            "fig12" => drop(experiments::fig12(&bench)),
+            "faults" => drop(experiments::faults(&bench)),
+            other => panic!("unknown fig {other}"),
+        }
+        assert_eq!(
+            bench.cells_computed(),
+            computed_before_render,
+            "{fig}: driver needed a cell its enumeration missed"
+        );
+    }
+    assert_eq!(
+        bench.cells_computed(),
+        0,
+        "no figure may fall back to lazy computation after its sweep"
+    );
+}
+
+#[test]
+fn warm_cache_replay_is_byte_identical() {
+    let dir = scratch_dir("warm");
+    let opts = SweepOptions {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    };
+
+    let cold_bench = tiny_bench();
+    let cold = run_sweep(&cold_bench, &fig_strings(), &opts);
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, cold.trials);
+    let cold_out = render(&cold_bench);
+
+    let warm_bench = tiny_bench();
+    let warm = run_sweep(&warm_bench, &fig_strings(), &opts);
+    assert_eq!(
+        warm.cache_hits, warm.trials,
+        "every trial must replay from cache"
+    );
+    assert!(warm.hit_rate() >= 0.95, "hit rate {}", warm.hit_rate());
+    assert_eq!(render(&warm_bench), cold_out);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End-to-end through the binary: stdout (minus wall-clock comment lines)
+/// is byte-identical across worker counts and cache states, and stays so
+/// on a warm cache.
+#[test]
+fn repro_binary_output_is_byte_identical_across_jobs_and_cache() {
+    let dir = scratch_dir("bin");
+    let run = |extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .args(["--scale", "smoke", "--trials", "2", "fig2", "faults"])
+            .args(extra)
+            .output()
+            .expect("repro failed to start");
+        assert!(out.status.success(), "repro exited with {}", out.status);
+        let stdout = String::from_utf8(out.stdout).expect("non-utf8 stdout");
+        stdout
+            .lines()
+            .filter(|l| !l.contains("took "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let dirs = dir.to_str().unwrap();
+    let serial = run(&["--no-cache", "--jobs", "1"]);
+    let parallel = run(&["--no-cache", "--jobs", "4"]);
+    let cold = run(&["--cache-dir", dirs, "--jobs", "2"]);
+    let warm = run(&["--cache-dir", dirs, "--jobs", "3"]);
+    assert_eq!(serial, parallel, "--jobs changed figure output");
+    assert_eq!(serial, cold, "cache writes changed figure output");
+    assert_eq!(serial, warm, "cache replay changed figure output");
+    assert!(serial.contains("Fig 2") || serial.contains("fig2") || !serial.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With enough cores, a 4-worker sweep must beat the serial one clearly.
+/// Skipped on small machines where the comparison is meaningless.
+#[test]
+fn parallel_sweep_is_faster_with_enough_cores() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping speedup check: only {cores} core(s) available");
+        return;
+    }
+    let figs = vec!["fig6".to_string()];
+    let scale = Scale {
+        trials: 4,
+        footprint: 0.25,
+        seed: 7,
+    };
+
+    let bench = Bench::new(scale);
+    let t0 = std::time::Instant::now();
+    run_sweep(&bench, &figs, &no_cache(1));
+    let serial = t0.elapsed();
+
+    let bench = Bench::new(scale);
+    let t0 = std::time::Instant::now();
+    run_sweep(&bench, &figs, &no_cache(4));
+    let parallel = t0.elapsed();
+
+    assert!(
+        parallel.as_secs_f64() < serial.as_secs_f64() / 1.5,
+        "expected clear speedup: serial {serial:?} vs 4-way {parallel:?}"
+    );
+}

@@ -2,7 +2,9 @@
 
 use pagesim_engine::faults::{FaultPlan, PressureStep, StallPlan};
 use pagesim_engine::{Nanos, MICROSECOND, MILLISECOND, SECOND};
-use pagesim_policy::{CostModel, MgLruConfig};
+use pagesim_policy::{CostModel, MgLruConfig, ScanMode};
+
+use crate::stablehash::StableHasher;
 
 /// Fault-model configuration: what goes wrong and how the kernel reacts.
 ///
@@ -69,6 +71,45 @@ impl FaultConfig {
     }
 }
 
+impl FaultConfig {
+    /// Whether this is the fault-free reproduction configuration.
+    pub fn is_none(&self) -> bool {
+        *self == FaultConfig::none()
+    }
+
+    /// Hashes every field that changes simulation behavior.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        hash_plan(&self.plan, h);
+        h.write_opt_u64(self.zram_capacity_bytes);
+        h.write_u32(self.max_io_retries);
+        h.write_u64(self.retry_backoff_base);
+        h.write_u64(self.retry_backoff_cap);
+        h.write_opt_u64(self.oom_after_stalls.map(u64::from));
+    }
+}
+
+fn hash_plan(plan: &FaultPlan, h: &mut StableHasher) {
+    h.write_f64(plan.error_rate);
+    h.write_opt_u64(plan.fail_permanently_at);
+    match &plan.stall {
+        None => h.write_bool(false),
+        Some(s) => {
+            h.write_bool(true);
+            h.write_u64(s.first_onset);
+            h.write_u64(s.period);
+            h.write_u64(s.onset_jitter);
+            h.write_u64(s.duration);
+            h.write_u64(s.duration_jitter);
+        }
+    }
+    h.write_usize(plan.pressure.len());
+    for p in &plan.pressure {
+        h.write_u64(p.at);
+        h.write_f64(p.frac);
+        h.write_u64(p.duration);
+    }
+}
+
 impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig::none()
@@ -128,6 +169,52 @@ impl PolicyChoice {
             PolicyChoice::MgLruScanNone => "scan-none",
             PolicyChoice::MgLruScanRand => "scan-rand",
             PolicyChoice::MgLruCustom(_) => "mglru-custom",
+        }
+    }
+
+    /// The fully-resolved MG-LRU configuration this choice builds, or
+    /// `None` for Clock. The kernel injects the per-trial seed at build
+    /// time, so the `seed` field returned here is a placeholder and is
+    /// excluded from [`PolicyChoice::hash_into`].
+    pub fn resolved_mglru(&self) -> Option<MgLruConfig> {
+        match *self {
+            PolicyChoice::Clock => None,
+            PolicyChoice::MgLruDefault => Some(MgLruConfig::kernel_default()),
+            PolicyChoice::MgLruGen14 => Some(MgLruConfig::gen14()),
+            PolicyChoice::MgLruScanAll => Some(MgLruConfig::scan_all()),
+            PolicyChoice::MgLruScanNone => Some(MgLruConfig::scan_none()),
+            PolicyChoice::MgLruScanRand => Some(MgLruConfig::scan_rand(0)),
+            PolicyChoice::MgLruCustom(c) => Some(c),
+        }
+    }
+
+    /// Hashes the resolved policy configuration. Two choices that build
+    /// the same policy (e.g. `MgLruDefault` and
+    /// `MgLruCustom(MgLruConfig::kernel_default())`) hash identically.
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        match self.resolved_mglru() {
+            None => h.write_str("clock"),
+            Some(c) => {
+                h.write_str("mglru");
+                h.write_u32(c.max_gens);
+                match c.scan_mode {
+                    ScanMode::Bloom => h.write_str("bloom"),
+                    ScanMode::All => h.write_str("all"),
+                    ScanMode::None => h.write_str("none"),
+                    ScanMode::Rand(p) => {
+                        h.write_str("rand");
+                        h.write_f64(p);
+                    }
+                }
+                h.write_u32(c.bloom_shift);
+                h.write_f64(c.insert_threshold_per_line);
+                h.write_bool(c.spatial_scan);
+                h.write_f64(c.pid_gains.0);
+                h.write_f64(c.pid_gains.1);
+                h.write_f64(c.pid_gains.2);
+                // c.seed intentionally excluded: the kernel overwrites it
+                // with the trial seed, which the cache key hashes already.
+            }
         }
     }
 }
@@ -275,6 +362,44 @@ impl SystemConfig {
     pub fn frames_for(&self, footprint: u32) -> usize {
         let frames = (footprint as f64 * self.capacity_ratio) as usize;
         frames.max(64)
+    }
+
+    /// A stable, process-independent hash of every field that changes
+    /// simulation behavior — the configuration half of the on-disk cell
+    /// cache's content address.
+    ///
+    /// Unlike `std::hash::Hash` (randomly keyed SipHash), this value is
+    /// identical across runs and hosts, and it covers the *resolved*
+    /// configuration: two configs that build the same simulation hash
+    /// equal, and flipping any semantically meaningful knob — an
+    /// [`MgLruConfig`] field, a cost, a fault-plan parameter — changes it.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.policy.hash_into(&mut h);
+        h.write_str(self.swap.label());
+        h.write_f64(self.capacity_ratio);
+        h.write_usize(self.cores);
+        h.write_u64(self.quantum);
+        let c = self.costs;
+        h.write_u64(c.rmap_walk_ns);
+        h.write_u64(c.pte_scan_ns);
+        h.write_u64(c.region_check_ns);
+        h.write_u64(c.list_op_ns);
+        h.write_u64(c.evict_fixed_ns);
+        let a = self.app_costs;
+        h.write_u64(a.mem_access_ns);
+        h.write_u64(a.minor_fault_ns);
+        h.write_u64(a.major_fault_ns);
+        h.write_u64(a.fd_hit_ns);
+        h.write_u64(a.barrier_ns);
+        h.write_u32(self.kswapd_batch);
+        h.write_u32(self.direct_batch);
+        h.write_usize(self.ssd_parallelism);
+        h.write_u64(self.max_sim_time);
+        h.write_u64(self.writeback_throttle_ns);
+        h.write_u64(self.page_compression);
+        self.faults.hash_into(&mut h);
+        h.finish()
     }
 
     /// Human-readable cell id, e.g. `tpch/mglru/ssd/50%`.

@@ -3,7 +3,9 @@
 //! The paper's figures all assume a healthy device; this driver asks what
 //! the same policy comparison looks like when the SSD periodically stalls
 //! and occasionally fails ([`FaultConfig::stalling_ssd`]). Each cell runs
-//! twice — once healthy (shared with the figure cache), once faulted —
+//! twice — once healthy, once faulted; both live in the shared cell
+//! cache (the fault plan is part of the content key, so a sweep can
+//! precompute and cache them like any figure cell) —
 //! and the report puts the policies' degraded tails side by side with the
 //! fault-path counters (retries, kills, allocation stalls, degraded time).
 

@@ -7,8 +7,13 @@
 //! the reproduced *shapes* (who wins, spreads, correlations).
 //!
 //! Figures share experiment cells (Fig. 1 and Fig. 2 plot the same runs);
-//! [`Bench`] caches each `(workload, policy, swap, ratio)` cell so a full
-//! `fig1..fig12` sweep runs every cell exactly once.
+//! [`Bench`] caches each cell under its *content key* — the workload plus
+//! the stable hash of its fully-resolved [`SystemConfig`] — so a full
+//! `fig1..fig12` sweep runs every cell exactly once, fault cells included.
+//! [`figure_cells`] enumerates each figure's grid as [`CellQuery`] values
+//! so an external executor (the bench crate's sweep) can precompute cells
+//! trial-by-trial ([`CellSpec`], [`Bench::run_trial`]) and install them
+//! with [`Bench::install_cell`] before the drivers render.
 
 mod faults;
 mod figures;
@@ -17,8 +22,10 @@ pub use faults::*;
 pub use figures::*;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use pagesim_engine::rng::trial_seed;
 use pagesim_workloads::buffered::{BufferedIoConfig, BufferedIoWorkload};
 use pagesim_workloads::pagerank::{PageRankConfig, PageRankWorkload};
 use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
@@ -26,7 +33,8 @@ use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};
 use pagesim_workloads::Workload;
 
 use crate::config::{FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
-use crate::metrics::{Experiment, TrialSet};
+use crate::metrics::{Experiment, RunMetrics, TrialSet};
+use crate::stablehash::StableHasher;
 
 /// Sweep scale: trials per cell and workload footprint factor.
 #[derive(Clone, Copy, Debug)]
@@ -106,7 +114,92 @@ impl Wl {
     }
 }
 
-type CellKey = (Wl, &'static str, SwapChoice, u32);
+/// One experiment cell: everything needed to build its [`SystemConfig`],
+/// independent of trial count. `faults: FaultConfig::none()` is a healthy
+/// cell; figures and the fault study enumerate through the same type, so
+/// both share the cell cache and the sweep executor.
+#[derive(Clone, Debug)]
+pub struct CellQuery {
+    /// Workload driving the cell.
+    pub wl: Wl,
+    /// Replacement policy under test.
+    pub policy: PolicyChoice,
+    /// Swap medium.
+    pub swap: SwapChoice,
+    /// Memory capacity-to-footprint ratio.
+    pub ratio: f64,
+    /// Fault-injection plan (`FaultConfig::none()` for healthy cells).
+    pub faults: FaultConfig,
+}
+
+impl CellQuery {
+    /// A healthy (no fault injection) cell.
+    pub fn healthy(wl: Wl, policy: PolicyChoice, swap: SwapChoice, ratio: f64) -> CellQuery {
+        CellQuery {
+            wl,
+            policy,
+            swap,
+            ratio,
+            faults: FaultConfig::none(),
+        }
+    }
+
+    /// A cell with a fault model attached.
+    pub fn faulted(
+        wl: Wl,
+        policy: PolicyChoice,
+        swap: SwapChoice,
+        ratio: f64,
+        faults: FaultConfig,
+    ) -> CellQuery {
+        CellQuery {
+            wl,
+            policy,
+            swap,
+            ratio,
+            faults,
+        }
+    }
+
+    /// The fully-resolved simulation config this cell runs under.
+    pub fn system_config(&self) -> SystemConfig {
+        SystemConfig::new(self.policy, self.swap)
+            .capacity_ratio(self.ratio)
+            .faults(self.faults.clone())
+    }
+
+    /// Human-readable cell identity (for cache files and logs).
+    pub fn ident(&self) -> String {
+        format!(
+            "{}/{}/{:?}/r{:.2}{}",
+            self.wl.label(),
+            self.policy.label(),
+            self.swap,
+            self.ratio,
+            if self.faults.is_none() { "" } else { "/faulty" },
+        )
+    }
+
+    /// Stable content key of the cell's configuration: workload identity
+    /// plus the stable hash of the fully-resolved [`SystemConfig`]. Two
+    /// queries with equal keys run byte-identical simulations (given equal
+    /// seeds and footprints), so this — not the label — keys the cache.
+    fn config_key(&self) -> (Wl, u64) {
+        (self.wl, self.system_config().stable_hash())
+    }
+}
+
+/// One unit of sweep work: a cell plus a trial index. `trials` specs per
+/// cell; each is pure and independently runnable on any worker.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// The cell this trial belongs to.
+    pub query: CellQuery,
+    /// Trial index within the cell (`0..scale.trials`).
+    pub trial: u32,
+}
+
+type CellKey = (Wl, u64);
 
 /// Workload instances plus a cache of completed experiment cells.
 pub struct Bench {
@@ -118,6 +211,7 @@ pub struct Bench {
     ycsb_c: YcsbWorkload,
     buffered: BufferedIoWorkload,
     cache: parking_lot::Mutex<HashMap<CellKey, Arc<TrialSet>>>,
+    computed: AtomicU64,
 }
 
 impl Bench {
@@ -139,6 +233,7 @@ impl Bench {
             ycsb_c: ycsb(YcsbMix::C),
             buffered: BufferedIoWorkload::new(BufferedIoConfig::default()),
             cache: parking_lot::Mutex::new(HashMap::new()),
+            computed: AtomicU64::new(0),
         }
     }
 
@@ -171,15 +266,34 @@ impl Bench {
         swap: SwapChoice,
         ratio: f64,
     ) -> Arc<TrialSet> {
-        let key: CellKey = (wl, policy.label(), swap, (ratio * 100.0) as u32);
+        self.query(&CellQuery::healthy(wl, policy, swap, ratio))
+    }
+
+    /// Runs (or fetches from cache) one cell with a fault model attached.
+    /// Fault cells share the content-keyed cache with healthy cells: the
+    /// fault plan is part of the config hash, so they can never collide.
+    pub fn fault_cell(
+        &self,
+        wl: Wl,
+        policy: PolicyChoice,
+        swap: SwapChoice,
+        ratio: f64,
+        faults: FaultConfig,
+    ) -> Arc<TrialSet> {
+        self.query(&CellQuery::faulted(wl, policy, swap, ratio, faults))
+    }
+
+    /// Runs (or fetches from cache) the cell described by `query`.
+    pub fn query(&self, query: &CellQuery) -> Arc<TrialSet> {
+        let key = query.config_key();
         if let Some(hit) = self.cache.lock().get(&key) {
             return Arc::clone(hit);
         }
-        let config = SystemConfig::new(policy, swap).capacity_ratio(ratio);
-        let exp = Experiment::new(config);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        let exp = Experiment::new(query.system_config());
         let seed = self.scale.seed;
         let trials = self.scale.trials;
-        let set = match wl {
+        let set = match query.wl {
             Wl::Tpch => exp.run_trials(&self.tpch, seed, trials),
             Wl::PageRank => exp.run_trials(&self.pagerank, seed, trials),
             Wl::YcsbA => exp.run_trials(&self.ycsb_a, seed, trials),
@@ -191,30 +305,67 @@ impl Bench {
         set
     }
 
-    /// Runs one cell with a fault model attached. Fault cells are not
-    /// cached: each belongs to exactly one experiment, and keying the
-    /// shared cache by fault plan would buy nothing.
-    pub fn fault_cell(
-        &self,
-        wl: Wl,
-        policy: PolicyChoice,
-        swap: SwapChoice,
-        ratio: f64,
-        faults: FaultConfig,
-    ) -> TrialSet {
-        let config = SystemConfig::new(policy, swap)
-            .capacity_ratio(ratio)
-            .faults(faults);
-        let exp = Experiment::new(config);
-        let seed = self.scale.seed;
-        let trials = self.scale.trials;
-        match wl {
-            Wl::Tpch => exp.run_trials(&self.tpch, seed, trials),
-            Wl::PageRank => exp.run_trials(&self.pagerank, seed, trials),
-            Wl::YcsbA => exp.run_trials(&self.ycsb_a, seed, trials),
-            Wl::YcsbB => exp.run_trials(&self.ycsb_b, seed, trials),
-            Wl::YcsbC => exp.run_trials(&self.ycsb_c, seed, trials),
+    /// Runs exactly one trial of a cell — the pure unit of sweep work.
+    /// Seeds derive the same way `run_trials` derives them, so a cell
+    /// assembled trial-by-trial is identical to one run in a batch.
+    pub fn run_trial(&self, query: &CellQuery, trial: u32) -> RunMetrics {
+        let exp = Experiment::new(query.system_config());
+        let seed = trial_seed(self.scale.seed, trial);
+        match query.wl {
+            Wl::Tpch => exp.run(&self.tpch, seed),
+            Wl::PageRank => exp.run(&self.pagerank, seed),
+            Wl::YcsbA => exp.run(&self.ycsb_a, seed),
+            Wl::YcsbB => exp.run(&self.ycsb_b, seed),
+            Wl::YcsbC => exp.run(&self.ycsb_c, seed),
         }
+    }
+
+    /// Installs an externally-computed cell (from a sweep or a cache) so
+    /// figure drivers find it instead of recomputing.
+    pub fn install_cell(&self, query: &CellQuery, set: TrialSet) {
+        self.cache.lock().insert(query.config_key(), Arc::new(set));
+    }
+
+    /// Whether a cell is already resident.
+    pub fn has_cell(&self, query: &CellQuery) -> bool {
+        self.cache.lock().contains_key(&query.config_key())
+    }
+
+    /// How many cells this bench computed itself (cache misses inside
+    /// [`Bench::query`]). After a sweep pre-populated every cell a figure
+    /// needs, rendering the figure must leave this at zero.
+    pub fn cells_computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// The content key of one trial of `query`, independent of process,
+    /// host, and enumeration order: it folds in the cache format version,
+    /// the crate version, the workload identity and resolved footprint,
+    /// the stable hash of the fully-resolved [`SystemConfig`], the trial
+    /// count context (trial index) and the derived trial seed. Equal keys
+    /// mean byte-identical [`RunMetrics`].
+    pub fn trial_content_hash(&self, query: &CellQuery, trial: u32) -> u64 {
+        self.trial_content_hash_versioned(query, trial, env!("CARGO_PKG_VERSION"))
+    }
+
+    /// [`Bench::trial_content_hash`] with an explicit crate-version string,
+    /// so tests can prove a version bump invalidates every cached trial.
+    pub fn trial_content_hash_versioned(
+        &self,
+        query: &CellQuery,
+        trial: u32,
+        version: &str,
+    ) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u32(crate::metrics::CACHE_FORMAT_VERSION);
+        h.write_str(version);
+        h.write_str(query.wl.label());
+        h.write_f64(self.scale.footprint);
+        h.write_u32(self.footprint(query.wl));
+        h.write_u64(query.system_config().stable_hash());
+        h.write_u32(trial);
+        h.write_u64(trial_seed(self.scale.seed, trial));
+        h.finish()
     }
 
     /// The paper's primary performance metric for a cell: mean runtime for
@@ -226,4 +377,137 @@ impl Bench {
             set.runtime_summary().mean
         }
     }
+}
+
+/// Figure ids known to [`figure_cells`], in `repro -- all` order, plus the
+/// fault study.
+pub fn figure_ids() -> [&'static str; 13] {
+    [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "faults",
+    ]
+}
+
+/// Enumerates every experiment cell the named figure consumes, mirroring
+/// its driver's grid. Drivers still call [`Bench::cell`] themselves, so a
+/// missed cell here only costs a lazy recompute — never a wrong figure;
+/// `sweep_covers_every_figure` in the bench crate pins the equivalence.
+pub fn figure_cells(fig: &str) -> Vec<CellQuery> {
+    use PolicyChoice as P;
+    use SwapChoice as S;
+    let mut cells = Vec::new();
+    match fig {
+        // Fig. 1 plots Clock vs default MG-LRU for all workloads (SSD, 50%).
+        "fig1" => {
+            for wl in Wl::all() {
+                for policy in [P::Clock, P::MgLruDefault] {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                }
+            }
+        }
+        // Fig. 2 reuses the TPC-H/PageRank subset of Fig. 1's cells.
+        "fig2" => {
+            for wl in [Wl::Tpch, Wl::PageRank] {
+                for policy in [P::Clock, P::MgLruDefault] {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                }
+            }
+        }
+        // Fig. 3 tails: YCSB only (SSD, 50%).
+        "fig3" => {
+            for wl in [Wl::YcsbA, Wl::YcsbB, Wl::YcsbC] {
+                for policy in [P::Clock, P::MgLruDefault] {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                }
+            }
+        }
+        // Fig. 4: MG-LRU variants across all workloads (SSD, 50%).
+        "fig4" => {
+            for wl in Wl::all() {
+                for policy in P::mglru_variants() {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                }
+            }
+        }
+        // Fig. 5: variant joint distributions on TPC-H/PageRank.
+        "fig5" => {
+            for wl in [Wl::Tpch, Wl::PageRank] {
+                for policy in P::mglru_variants() {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                }
+            }
+        }
+        // Fig. 6: full paper set at tighter ratios, all workloads.
+        "fig6" => {
+            for ratio in [0.75, 0.9] {
+                for wl in Wl::all() {
+                    for policy in P::paper_set() {
+                        cells.push(CellQuery::healthy(wl, policy, S::Ssd, ratio));
+                    }
+                }
+            }
+        }
+        // Fig. 7: same ratios, TPC-H/PageRank only.
+        "fig7" => {
+            for ratio in [0.75, 0.9] {
+                for wl in [Wl::Tpch, Wl::PageRank] {
+                    for policy in P::paper_set() {
+                        cells.push(CellQuery::healthy(wl, policy, S::Ssd, ratio));
+                    }
+                }
+            }
+        }
+        // Fig. 8 tails: YCSB at 75%/90%.
+        "fig8" => {
+            for ratio in [0.75, 0.9] {
+                for wl in [Wl::YcsbA, Wl::YcsbB, Wl::YcsbC] {
+                    for policy in [P::Clock, P::MgLruDefault] {
+                        cells.push(CellQuery::healthy(wl, policy, S::Ssd, ratio));
+                    }
+                }
+            }
+        }
+        // Figs. 9/10 share one grid: paper set under ZRAM at 50%.
+        "fig9" | "fig10" => {
+            for wl in Wl::all() {
+                for policy in P::paper_set() {
+                    cells.push(CellQuery::healthy(wl, policy, S::Zram, 0.5));
+                }
+            }
+        }
+        // Fig. 11: SSD vs ZRAM head-to-head.
+        "fig11" => {
+            for wl in Wl::all() {
+                for policy in [P::Clock, P::MgLruDefault] {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                    cells.push(CellQuery::healthy(wl, policy, S::Zram, 0.5));
+                }
+            }
+        }
+        // Fig. 12 tails: YCSB under ZRAM at 50%.
+        "fig12" => {
+            for wl in [Wl::YcsbA, Wl::YcsbB, Wl::YcsbC] {
+                for policy in [P::Clock, P::MgLruDefault] {
+                    cells.push(CellQuery::healthy(wl, policy, S::Zram, 0.5));
+                }
+            }
+        }
+        // Fault study: healthy and stalling-SSD cells side by side.
+        "faults" => {
+            for wl in [Wl::Tpch, Wl::YcsbA] {
+                for policy in [P::Clock, P::MgLruDefault] {
+                    cells.push(CellQuery::healthy(wl, policy, S::Ssd, 0.5));
+                    cells.push(CellQuery::faulted(
+                        wl,
+                        policy,
+                        S::Ssd,
+                        0.5,
+                        FaultConfig::stalling_ssd(),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    cells
 }

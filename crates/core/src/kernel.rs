@@ -60,11 +60,11 @@ use pagesim_engine::{
 use pagesim_mem::{
     AddressSpace, AsId, FrameId, FrameState, PageArena, PageKey, PhysMem, Vpn, Watermarks,
 };
-use pagesim_policy::{ClockLru, MgLru, MgLruConfig, Policy};
+use pagesim_policy::{ClockLru, MgLru, Policy};
 use pagesim_swap::{SsdDevice, SwapDevice, SwapSlot, ZramDevice};
 use pagesim_workloads::{AccessStream, Op, ReqClass, Workload};
 
-use crate::config::{PolicyChoice, SwapChoice, SystemConfig};
+use crate::config::{SwapChoice, SystemConfig};
 use crate::mem_state::MemState;
 use crate::metrics::RunMetrics;
 
@@ -89,6 +89,29 @@ pub enum SimError {
     /// The simulation exceeded `config.max_sim_time` (a guard against
     /// thrashing loops that make no forward progress).
     SimTimeExceeded,
+}
+
+impl SimError {
+    /// Stable machine-readable name, used by the cell-cache codec.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimError::RequestWithoutStart => "request-without-start",
+            SimError::NestedRequest => "nested-request",
+            SimError::Deadlock => "deadlock",
+            SimError::SimTimeExceeded => "sim-time-exceeded",
+        }
+    }
+
+    /// Parses a [`SimError::name`] string back.
+    pub fn from_name(s: &str) -> Option<SimError> {
+        Some(match s {
+            "request-without-start" => SimError::RequestWithoutStart,
+            "nested-request" => SimError::NestedRequest,
+            "deadlock" => SimError::Deadlock,
+            "sim-time-exceeded" => SimError::SimTimeExceeded,
+            _ => return None,
+        })
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -228,46 +251,13 @@ impl Kernel {
         let mem = MemState::new(spaces, arena, phys);
 
         let total_pages = mem.arena.len() as u32;
-        let policy: Box<dyn Policy> = match config.policy {
-            PolicyChoice::Clock => Box::new(ClockLru::new(total_pages, config.scaled_costs())),
-            PolicyChoice::MgLruDefault => Box::new(MgLru::new(
-                total_pages,
-                MgLruConfig {
-                    seed,
-                    ..MgLruConfig::kernel_default()
-                },
-                config.scaled_costs(),
-            )),
-            PolicyChoice::MgLruGen14 => Box::new(MgLru::new(
-                total_pages,
-                MgLruConfig {
-                    seed,
-                    ..MgLruConfig::gen14()
-                },
-                config.scaled_costs(),
-            )),
-            PolicyChoice::MgLruScanAll => Box::new(MgLru::new(
-                total_pages,
-                MgLruConfig {
-                    seed,
-                    ..MgLruConfig::scan_all()
-                },
-                config.scaled_costs(),
-            )),
-            PolicyChoice::MgLruScanNone => Box::new(MgLru::new(
-                total_pages,
-                MgLruConfig {
-                    seed,
-                    ..MgLruConfig::scan_none()
-                },
-                config.scaled_costs(),
-            )),
-            PolicyChoice::MgLruScanRand => Box::new(MgLru::new(
-                total_pages,
-                MgLruConfig::scan_rand(seed),
-                config.scaled_costs(),
-            )),
-            PolicyChoice::MgLruCustom(mut c) => {
+        // `PolicyChoice::resolved_mglru` is the single source of truth for
+        // what each choice builds; `SystemConfig::stable_hash` (the cell
+        // cache key) hashes the same resolution, so a cache hit implies an
+        // identical policy construction here.
+        let policy: Box<dyn Policy> = match config.policy.resolved_mglru() {
+            None => Box::new(ClockLru::new(total_pages, config.scaled_costs())),
+            Some(mut c) => {
                 c.seed = seed;
                 Box::new(MgLru::new(total_pages, c, config.scaled_costs()))
             }
@@ -1190,7 +1180,7 @@ enum TouchResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FaultConfig;
+    use crate::config::{FaultConfig, PolicyChoice};
     use pagesim_engine::{FaultPlan, StallPlan, SECOND};
     use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
     use pagesim_workloads::ycsb::{YcsbConfig, YcsbMix, YcsbWorkload};

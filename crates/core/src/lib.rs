@@ -45,7 +45,9 @@ mod kernel;
 mod mem_state;
 mod metrics;
 pub mod report;
+pub mod stablehash;
 
 pub use config::{AppCosts, FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
 pub use kernel::{Kernel, SimError};
-pub use metrics::{Experiment, RunMetrics, TrialSet};
+pub use metrics::{Experiment, RunMetrics, TrialSet, CACHE_FORMAT_VERSION};
+pub use stablehash::StableHasher;

@@ -104,6 +104,150 @@ impl RunMetrics {
     pub fn degraded_ns(&self) -> Nanos {
         self.backoff_ns + self.swap_stats.stall_delay_ns
     }
+
+    /// Serializes every field to the versioned line format the on-disk
+    /// cell cache stores ([`RunMetrics::from_cache_text`] inverts it
+    /// exactly; the roundtrip test in this module covers every field).
+    pub fn to_cache_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(out, "format {CACHE_FORMAT_VERSION}");
+        self.write_scalars(&mut out);
+        write_histogram(&mut out, "read_latency", &self.read_latency);
+        write_histogram(&mut out, "write_latency", &self.write_latency);
+        let _ = writeln!(out, "error {}", self.error.map_or("-", |e| e.name()));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses [`RunMetrics::to_cache_text`] output. Returns `None` on any
+    /// format mismatch (wrong version, missing/extra fields, parse error) —
+    /// callers treat that as a cache miss and recompute.
+    pub fn from_cache_text(text: &str) -> Option<RunMetrics> {
+        let mut m = RunMetrics::default();
+        let mut lines = text.lines();
+        if lines.next()? != format!("format {CACHE_FORMAT_VERSION}") {
+            return None;
+        }
+        m.read_scalars(&mut lines)?;
+        m.read_latency = parse_histogram(lines.next()?, "read_latency")?;
+        m.write_latency = parse_histogram(lines.next()?, "write_latency")?;
+        match lines.next()?.strip_prefix("error ")? {
+            "-" => m.error = None,
+            name => m.error = Some(SimError::from_name(name)?),
+        }
+        if lines.next()? != "end" || lines.next().is_some() {
+            return None;
+        }
+        Some(m)
+    }
+}
+
+/// Version tag inside every cached cell file; bump on any layout change so
+/// stale caches read as misses instead of mis-parses.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Expands a symmetric writer/reader pair over the listed scalar fields.
+/// One list drives both directions, so serializer and parser cannot drift;
+/// the roundtrip unit test catches a field missing from the list entirely.
+macro_rules! codec_scalars {
+    ($($($part:ident).+),* $(,)?) => {
+        impl RunMetrics {
+            fn write_scalars(&self, out: &mut String) {
+                use std::fmt::Write as _;
+                $(
+                    let _ = writeln!(
+                        out,
+                        concat!(stringify!($($part).+), " {}"),
+                        self.$($part).+
+                    );
+                )*
+            }
+
+            fn read_scalars(&mut self, lines: &mut std::str::Lines<'_>) -> Option<()> {
+                $(
+                    let rest = lines
+                        .next()?
+                        .strip_prefix(concat!(stringify!($($part).+), " "))?;
+                    self.$($part).+ = rest.parse().ok()?;
+                )*
+                Some(())
+            }
+        }
+    };
+}
+
+codec_scalars!(
+    runtime_ns,
+    accesses,
+    minor_faults,
+    major_faults,
+    evictions,
+    swap_outs,
+    clean_drops,
+    alloc_stalls,
+    shared_fault_waits,
+    direct_reclaims,
+    kswapd_batches,
+    writeback_throttles,
+    aging_runs,
+    app_cpu_ns,
+    kernel_cpu_ns,
+    footprint_pages,
+    capacity_frames,
+    swap_used_bytes,
+    io_errors,
+    io_retries,
+    backoff_ns,
+    io_kills,
+    oom_kills,
+    kill_freed_frames,
+    eviction_aborts,
+    pressure_frames_taken,
+    policy.pte_scans,
+    policy.rmap_walks,
+    policy.promotions,
+    policy.evictions,
+    policy.aging_passes,
+    policy.resorted,
+    policy.regions_skipped,
+    policy.regions_walked,
+    policy.tier_protected,
+    swap_stats.reads,
+    swap_stats.writes,
+    swap_stats.read_queue_ns,
+    swap_stats.write_queue_ns,
+    swap_stats.io_errors,
+    swap_stats.pool_rejections,
+    swap_stats.stall_delay_ns,
+);
+
+fn write_histogram(out: &mut String, name: &str, h: &LatencyHistogram) {
+    use std::fmt::Write as _;
+    let (sparse, sum, min, max) = h.to_parts();
+    let _ = write!(out, "{name} {sum} {min} {max} {}", sparse.len());
+    for (i, c) in sparse {
+        let _ = write!(out, " {i}:{c}");
+    }
+    out.push('\n');
+}
+
+fn parse_histogram(line: &str, name: &str) -> Option<LatencyHistogram> {
+    let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+    let mut it = rest.split(' ');
+    let sum: u128 = it.next()?.parse().ok()?;
+    let min: u64 = it.next()?.parse().ok()?;
+    let max: u64 = it.next()?.parse().ok()?;
+    let n: usize = it.next()?.parse().ok()?;
+    let mut sparse = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let (i, c) = it.next()?.split_once(':')?;
+        sparse.push((i.parse().ok()?, c.parse().ok()?));
+    }
+    if it.next().is_some() {
+        return None;
+    }
+    LatencyHistogram::from_parts(&sparse, sum, min, max)
 }
 
 /// Runs one `(config, workload)` cell.
@@ -280,6 +424,102 @@ mod tests {
         // trials within a set differ (different derived seeds)
         let r = a.runtimes();
         assert!(r.windows(2).any(|w| w[0] != w[1]), "no variance: {r:?}");
+    }
+
+    #[test]
+    fn cache_text_roundtrips_every_field() {
+        // A real run exercises realistic histogram and counter state...
+        let w = TpchWorkload::new(TpchConfig::tiny());
+        let e = Experiment::new(
+            SystemConfig::new(PolicyChoice::MgLruDefault, SwapChoice::Zram)
+                .capacity_ratio(0.5)
+                .cores(2),
+        );
+        let real = e.run(&w, 3);
+        let back = RunMetrics::from_cache_text(&real.to_cache_text()).expect("parse");
+        assert_eq!(format!("{real:?}"), format!("{back:?}"));
+
+        // ...and a synthetic one pins every scalar field to a distinct
+        // value so a field dropped from the codec list fails loudly.
+        let mut m = RunMetrics::default();
+        let mut next = 1u64;
+        let mut stamp = |slot: &mut u64| {
+            *slot = next;
+            next += 1;
+        };
+        stamp(&mut m.runtime_ns);
+        stamp(&mut m.accesses);
+        stamp(&mut m.minor_faults);
+        stamp(&mut m.major_faults);
+        stamp(&mut m.evictions);
+        stamp(&mut m.swap_outs);
+        stamp(&mut m.clean_drops);
+        stamp(&mut m.alloc_stalls);
+        stamp(&mut m.shared_fault_waits);
+        stamp(&mut m.direct_reclaims);
+        stamp(&mut m.kswapd_batches);
+        stamp(&mut m.writeback_throttles);
+        stamp(&mut m.aging_runs);
+        stamp(&mut m.app_cpu_ns);
+        stamp(&mut m.kernel_cpu_ns);
+        m.footprint_pages = 91;
+        m.capacity_frames = 92;
+        stamp(&mut m.swap_used_bytes);
+        stamp(&mut m.io_errors);
+        stamp(&mut m.io_retries);
+        stamp(&mut m.backoff_ns);
+        stamp(&mut m.io_kills);
+        stamp(&mut m.oom_kills);
+        stamp(&mut m.kill_freed_frames);
+        stamp(&mut m.eviction_aborts);
+        stamp(&mut m.pressure_frames_taken);
+        stamp(&mut m.policy.pte_scans);
+        stamp(&mut m.policy.rmap_walks);
+        stamp(&mut m.policy.promotions);
+        stamp(&mut m.policy.evictions);
+        stamp(&mut m.policy.aging_passes);
+        stamp(&mut m.policy.resorted);
+        stamp(&mut m.policy.regions_skipped);
+        stamp(&mut m.policy.regions_walked);
+        stamp(&mut m.policy.tier_protected);
+        stamp(&mut m.swap_stats.reads);
+        stamp(&mut m.swap_stats.writes);
+        stamp(&mut m.swap_stats.read_queue_ns);
+        stamp(&mut m.swap_stats.write_queue_ns);
+        stamp(&mut m.swap_stats.io_errors);
+        stamp(&mut m.swap_stats.pool_rejections);
+        stamp(&mut m.swap_stats.stall_delay_ns);
+        m.read_latency.record(123);
+        m.read_latency.record(456_789);
+        m.write_latency.record(7);
+        m.error = Some(SimError::Deadlock);
+        let back = RunMetrics::from_cache_text(&m.to_cache_text()).expect("parse");
+        assert_eq!(format!("{m:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn cache_text_rejects_corruption() {
+        let m = RunMetrics::default();
+        let text = m.to_cache_text();
+        assert!(RunMetrics::from_cache_text(&text).is_some());
+        // Wrong version.
+        let bad = text.replacen("format ", "format 9", 1);
+        assert!(RunMetrics::from_cache_text(&bad).is_none());
+        // Truncated.
+        let cut = &text[..text.len() / 2];
+        assert!(RunMetrics::from_cache_text(cut).is_none());
+        // Trailing garbage.
+        let long = format!("{text}junk\n");
+        assert!(RunMetrics::from_cache_text(&long).is_none());
+        // A renamed field.
+        let renamed = text.replacen("major_faults", "major_fault", 1);
+        assert!(RunMetrics::from_cache_text(&renamed).is_none());
+        // A non-numeric value.
+        let nan = text.replacen("runtime_ns 0", "runtime_ns x", 1);
+        assert!(RunMetrics::from_cache_text(&nan).is_none());
+        // An unknown error name.
+        let err = text.replacen("error -", "error bogus", 1);
+        assert!(RunMetrics::from_cache_text(&err).is_none());
     }
 
     #[test]

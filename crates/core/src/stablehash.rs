@@ -1,0 +1,152 @@
+//! A stable, process-independent hash for configurations.
+//!
+//! The on-disk cell cache addresses results by a hash of the fully-resolved
+//! experiment configuration, so the hash must be identical across runs,
+//! platforms and compiler versions — `std::hash::Hash` (SipHash with a
+//! random key, and layout-dependent derives) cannot be used. This module
+//! implements FNV-1a over an explicit, field-by-field encoding: every
+//! semantically meaningful field is written through a typed method, with a
+//! domain tag per write so that adjacent fields cannot alias (e.g. an
+//! `Option::None` followed by a `0` hashes differently from `Some(0)`
+//! followed by nothing).
+
+/// FNV-1a accumulator with typed, tagged writes.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl StableHasher {
+    /// A fresh accumulator.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    fn tagged(&mut self, tag: u8, bytes: &[u8]) {
+        self.byte(tag);
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Writes a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.tagged(1, &v.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.tagged(2, &v.to_le_bytes());
+    }
+
+    /// Writes a `usize` (hashed as `u64` so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.tagged(3, &(v as u64).to_le_bytes());
+    }
+
+    /// Writes an `f64` by IEEE bit pattern (`-0.0` and `0.0` differ; any
+    /// NaN payload differs from any number — configs should not hold NaN).
+    pub fn write_f64(&mut self, v: f64) {
+        self.tagged(4, &v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a `bool`.
+    pub fn write_bool(&mut self, v: bool) {
+        self.tagged(5, &[v as u8]);
+    }
+
+    /// Writes a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.byte(6);
+        self.write_u64(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+    }
+
+    /// Writes an `Option` discriminant, then the value if present.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.byte(7),
+            Some(x) => {
+                self.byte(8);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StableHasher::new();
+        let mut b = StableHasher::new();
+        for h in [&mut a, &mut b] {
+            h.write_u64(42);
+            h.write_str("cell");
+            h.write_f64(0.5);
+            h.write_bool(true);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn field_order_and_type_matter() {
+        let mut a = StableHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StableHasher::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = StableHasher::new();
+        c.write_u64(1);
+        let mut d = StableHasher::new();
+        d.write_u32(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn none_does_not_alias_zero() {
+        let mut a = StableHasher::new();
+        a.write_opt_u64(None);
+        a.write_u64(0);
+        let mut b = StableHasher::new();
+        b.write_opt_u64(Some(0));
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -148,6 +148,40 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// The histogram's full state as `(sparse buckets, sum, min, max)`.
+    ///
+    /// Sparse buckets are `(index, count)` pairs for every non-zero bucket
+    /// in ascending index order. Together with the sample sum and the exact
+    /// min/max this is everything [`LatencyHistogram`] stores, so
+    /// [`from_parts`](LatencyHistogram::from_parts) reconstructs a
+    /// byte-identical histogram — the cell cache serializes through this.
+    pub fn to_parts(&self) -> (Vec<(u32, u64)>, u128, u64, u64) {
+        let sparse = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        (sparse, self.sum, self.min, self.max)
+    }
+
+    /// Rebuilds a histogram from [`to_parts`](LatencyHistogram::to_parts)
+    /// output. Returns `None` if a bucket index is out of range (corrupt
+    /// or foreign data).
+    pub fn from_parts(sparse: &[(u32, u64)], sum: u128, min: u64, max: u64) -> Option<Self> {
+        let mut h = LatencyHistogram::new();
+        for &(idx, count) in sparse {
+            *h.counts.get_mut(idx as usize)? += count;
+            h.total += count;
+        }
+        h.sum = sum;
+        // An empty histogram's sentinel min is u64::MAX; preserve it.
+        h.min = if h.total == 0 { u64::MAX } else { min };
+        h.max = max;
+        Some(h)
+    }
+
     /// Convenience: the tail profile the paper's figures use.
     ///
     /// Returns `(p, value)` pairs for p ∈ {50, 90, 99, 99.9, 99.99}.
@@ -257,6 +291,32 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_of_empty_panics() {
         LatencyHistogram::new().value_at_percentile(50.0);
+    }
+
+    #[test]
+    fn parts_roundtrip_is_exact() {
+        let mut h = LatencyHistogram::new();
+        let mut v = 3u64;
+        for _ in 0..10_000 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record((v >> 33).max(1));
+        }
+        let (sparse, sum, min, max) = h.to_parts();
+        let back = LatencyHistogram::from_parts(&sparse, sum, min, max).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.mean(), h.mean());
+        for p in [50.0, 90.0, 99.0, 99.99] {
+            assert_eq!(back.value_at_percentile(p), h.value_at_percentile(p));
+        }
+        // Empty roundtrip keeps reporting zeros.
+        let (s, sum, min, max) = LatencyHistogram::new().to_parts();
+        let e = LatencyHistogram::from_parts(&s, sum, min, max).unwrap();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), 0);
+        // Out-of-range bucket index is rejected.
+        assert!(LatencyHistogram::from_parts(&[(u32::MAX, 1)], 0, 0, 0).is_none());
     }
 
     #[test]

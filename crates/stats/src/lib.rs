@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 mod histogram;
+mod moments;
 mod regression;
 mod summary;
 mod ttest;
 
 pub use histogram::LatencyHistogram;
+pub use moments::Moments;
 pub use regression::{linear_regression, Regression};
 pub use summary::{percentile, Summary};
 pub use ttest::{welch_t_test, TTest};

@@ -1,0 +1,186 @@
+//! Order-independent streaming moments.
+//!
+//! The parallel sweep executor reduces per-trial metrics in whatever order
+//! workers finish, so its summary statistics must come from a merge that is
+//! exactly commutative and associative up to floating-point rounding.
+//! [`Moments`] implements Chan et al.'s pairwise update: merging two
+//! accumulators combines counts, means and centered second moments without
+//! revisiting the samples, so any partition of a sample into chunks reduces
+//! to the same result (bit-exact under operand swap, within rounding under
+//! re-association).
+
+/// Streaming count/mean/variance/min/max accumulator with a mergeable
+/// representation.
+///
+/// ```rust
+/// use pagesim_stats::Moments;
+/// let mut a = Moments::new();
+/// let mut b = Moments::new();
+/// for x in [1.0, 2.0] { a.add(x); }
+/// for x in [3.0, 4.0] { b.add(x); }
+/// let m = a.merged(&b);
+/// assert_eq!(m.count(), 4);
+/// assert!((m.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// An empty accumulator (the merge identity).
+    pub fn new() -> Moments {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in (Welford's update).
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean = (na * self.mean + nb * other.mean) / n;
+        self.m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns the merge of `self` and `other`, leaving both untouched.
+    pub fn merged(&self, other: &Moments) -> Moments {
+        let mut m = *self;
+        m.merge(other);
+        m
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n−1 denominator); 0 for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum sample; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum sample; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Moments::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = Moments::new();
+        for &x in &xs {
+            m.add(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.std() - 2.138089935299395).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 50.0).collect();
+        let mut whole = Moments::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        let m = a.merged(&b);
+        assert_eq!(m.count(), whole.count());
+        assert!((m.mean() - whole.mean()).abs() < 1e-9);
+        assert!((m.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let mut m = Moments::new();
+        m.add(3.0);
+        let merged = m.merged(&Moments::new());
+        assert_eq!(merged, m);
+        let merged = Moments::new().merged(&m);
+        assert_eq!(merged, m);
+        assert_eq!(Moments::new().mean(), 0.0);
+        assert_eq!(Moments::new().std(), 0.0);
+    }
+}

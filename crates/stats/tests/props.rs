@@ -106,3 +106,105 @@ proptest! {
         prop_assert!((0.0..=1.0 + 1e-9).contains(&r.r_squared));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mergeable-accumulator laws. The sweep executor computes per-trial
+// metrics on arbitrary workers and folds them in canonical order; these
+// properties are what make the fold's result independent of how trials
+// were partitioned across workers.
+
+fn hist_of(xs: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+fn moments_of(xs: &[f64]) -> pagesim_stats::Moments {
+    let mut m = pagesim_stats::Moments::new();
+    for &x in xs {
+        m.add(x);
+    }
+    m
+}
+
+proptest! {
+    /// Histogram merge is commutative and associative *exactly*: the
+    /// state is integer counters, so any merge tree over any partition
+    /// of the samples yields bit-identical parts.
+    #[test]
+    fn histogram_merge_commutes_and_associates(
+        a in prop::collection::vec(0u64..10_000_000_000, 0..200),
+        b in prop::collection::vec(0u64..10_000_000_000, 0..200),
+        c in prop::collection::vec(0u64..10_000_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.to_parts(), ba.to_parts());
+
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.to_parts(), a_bc.to_parts());
+    }
+
+    /// Merging any split of a sample equals recording it in one pass.
+    #[test]
+    fn histogram_merge_matches_any_partition(
+        xs in prop::collection::vec(0u64..10_000_000_000, 0..300),
+        cut_permille in 0u64..=1000,
+    ) {
+        let cut = (xs.len() as u64 * cut_permille / 1000) as usize;
+        let mut merged = hist_of(&xs[..cut]);
+        merged.merge(&hist_of(&xs[cut..]));
+        prop_assert_eq!(merged.to_parts(), hist_of(&xs).to_parts());
+    }
+
+    /// Moments merge is commutative bit-exactly (the Chan update only
+    /// uses symmetric sums and squared differences).
+    #[test]
+    fn moments_merge_commutes(
+        a in prop::collection::vec(-1e9f64..1e9, 0..100),
+        b in prop::collection::vec(-1e9f64..1e9, 0..100),
+    ) {
+        let (ma, mb) = (moments_of(&a), moments_of(&b));
+        let ab = ma.merged(&mb);
+        let ba = mb.merged(&ma);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+        prop_assert_eq!(ab.variance().to_bits(), ba.variance().to_bits());
+        prop_assert_eq!(ab.min().to_bits(), ba.min().to_bits());
+        prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+    }
+
+    /// Any partition of a sample merges to the single-pass statistics up
+    /// to floating-point rounding, and min/max/count exactly.
+    #[test]
+    fn moments_merge_matches_any_partition(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        cut_permille in 0u64..=1000,
+        cut2_permille in 0u64..=1000,
+    ) {
+        let cut = (xs.len() as u64 * cut_permille / 1000) as usize;
+        let rest = xs.len() - cut;
+        let cut2 = cut + (rest as u64 * cut2_permille / 1000) as usize;
+        let merged = moments_of(&xs[..cut])
+            .merged(&moments_of(&xs[cut..cut2]))
+            .merged(&moments_of(&xs[cut2..]));
+        let single = moments_of(&xs);
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min().to_bits(), single.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), single.max().to_bits());
+        let scale = 1.0 + single.mean().abs();
+        prop_assert!((merged.mean() - single.mean()).abs() <= 1e-9 * scale);
+        let vscale = 1.0 + single.variance().abs();
+        prop_assert!((merged.variance() - single.variance()).abs() <= 1e-6 * vscale);
+    }
+}
