@@ -5,6 +5,10 @@
 //! and prints the fault count alongside (criterion measures host time; the
 //! fault counts are the decision-quality signal).
 
+// Bench targets are not public API; the criterion_group! expansion has no
+// place to hang a doc comment.
+#![allow(missing_docs)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

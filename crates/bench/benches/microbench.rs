@@ -3,6 +3,10 @@
 //! sweeps run, plus the policy primitives whose *modeled* costs the study
 //! is about.
 
+// Bench targets are not public API; the criterion_group! expansion has no
+// place to hang a doc comment.
+#![allow(missing_docs)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};

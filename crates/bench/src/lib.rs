@@ -17,8 +17,6 @@
 //!   on-disk cache, and installs byte-identical results regardless of
 //!   worker count.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod sweep;
 

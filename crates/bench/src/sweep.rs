@@ -95,7 +95,9 @@ impl std::fmt::Display for SweepStats {
 /// figures in the order given, each figure's grid in driver order, first
 /// occurrence wins. Cells already resident in `bench` are excluded.
 pub fn plan_cells(bench: &Bench, figs: &[String]) -> Vec<CellQuery> {
-    let mut seen = std::collections::HashSet::new();
+    // Ordered set: dedup order must be a pure function of the figure list
+    // (pagesim-lint rule L1 forbids hash-ordered state on sim paths).
+    let mut seen = std::collections::BTreeSet::new();
     let mut plan = Vec::new();
     for fig in figs {
         for q in figure_cells(fig) {

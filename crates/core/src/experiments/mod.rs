@@ -21,7 +21,9 @@ mod figures;
 pub use faults::*;
 pub use figures::*;
 
-use std::collections::HashMap;
+// Ordered containers only (pagesim-lint rule L1): the cell cache is never
+// iterated today, but a `BTreeMap` keeps any future walk deterministic.
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -77,7 +79,7 @@ impl Scale {
 }
 
 /// The five workloads of the paper's methodology (§IV).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Wl {
     /// Spark-SQL TPC-H analog.
     Tpch,
@@ -210,7 +212,7 @@ pub struct Bench {
     ycsb_b: YcsbWorkload,
     ycsb_c: YcsbWorkload,
     buffered: BufferedIoWorkload,
-    cache: parking_lot::Mutex<HashMap<CellKey, Arc<TrialSet>>>,
+    cache: parking_lot::Mutex<BTreeMap<CellKey, Arc<TrialSet>>>,
     computed: AtomicU64,
 }
 
@@ -232,7 +234,7 @@ impl Bench {
             ycsb_b: ycsb(YcsbMix::B),
             ycsb_c: ycsb(YcsbMix::C),
             buffered: BufferedIoWorkload::new(BufferedIoConfig::default()),
-            cache: parking_lot::Mutex::new(HashMap::new()),
+            cache: parking_lot::Mutex::new(BTreeMap::new()),
             computed: AtomicU64::new(0),
         }
     }

@@ -49,7 +49,9 @@
 //! With the default empty plan none of these paths execute and the
 //! simulation is bit-identical to the fault-free model.
 
-use std::collections::{HashMap, HashSet};
+// Ordered containers only: kernel state must never expose hash-iteration
+// order to the simulation (enforced by `pagesim-lint` rule L1).
+use std::collections::{BTreeMap, BTreeSet};
 
 use pagesim_engine::faults::IoError;
 use pagesim_engine::rng::derive_seed;
@@ -203,11 +205,11 @@ pub struct Kernel {
     aging: ThreadId,
     aging_asleep: bool,
     /// Write-back completion time per in-flight slot (reads must wait).
-    slot_ready: HashMap<SwapSlot, SimTime>,
+    slot_ready: BTreeMap<SwapSlot, SimTime>,
     /// Faults already in flight per page (page-lock analog): later
     /// faulters on the same page wait for the first I/O instead of
     /// issuing their own.
-    inflight: HashMap<PageKey, Vec<ThreadId>>,
+    inflight: BTreeMap<PageKey, Vec<ThreadId>>,
     /// First-touch frame attribution: which app thread faulted each frame
     /// in. Drives the OOM killer's RSS accounting; cleared at every free.
     frame_owner: Vec<Option<ThreadId>>,
@@ -222,7 +224,7 @@ pub struct Kernel {
     stall_streak: u32,
     /// Frames referenced by an in-flight `IoDone` event: the OOM killer
     /// must not free them (the completion handler will).
-    io_pinned: HashSet<FrameId>,
+    io_pinned: BTreeSet<FrameId>,
     /// Frames held by each active pressure step's balloon.
     balloon: Vec<Vec<FrameId>>,
     metrics: RunMetrics,
@@ -348,13 +350,13 @@ impl Kernel {
             kswapd_retry_pending: false,
             aging,
             aging_asleep: true,
-            slot_ready: HashMap::new(),
-            inflight: HashMap::new(),
+            slot_ready: BTreeMap::new(),
+            inflight: BTreeMap::new(),
             frame_owner: vec![None; frames],
             killed: vec![false; thread_count],
             retry_attempts: vec![0; thread_count],
             stall_streak: 0,
-            io_pinned: HashSet::new(),
+            io_pinned: BTreeSet::new(),
             balloon: vec![Vec::new(); pressure.len()],
             metrics,
         }
@@ -402,6 +404,8 @@ impl Kernel {
     }
 
     fn finalize(mut self) -> RunMetrics {
+        #[cfg(feature = "sanitize")]
+        self.check_invariants();
         self.metrics.runtime_ns = self.finish_time.as_ns();
         self.metrics.policy = self.policy.stats();
         self.metrics.swap_stats = self.swap.stats();
@@ -505,12 +509,16 @@ impl Kernel {
         self.events
             .push(self.now + step.duration, Event::PressureOff { idx });
         self.maybe_wake_kswapd();
+        #[cfg(feature = "sanitize")]
+        self.check_invariants();
     }
 
     fn pressure_off(&mut self, idx: usize) {
         for f in std::mem::take(&mut self.balloon[idx]) {
             self.mem.phys.free(f);
         }
+        #[cfg(feature = "sanitize")]
+        self.check_invariants();
     }
 
     // ---------------------------------------------------------------
@@ -982,6 +990,8 @@ impl Kernel {
             self.mem.evicted_before[key as usize] = true;
             self.metrics.evictions += 1;
         }
+        #[cfg(feature = "sanitize")]
+        self.check_invariants();
         cpu
     }
 
@@ -1086,6 +1096,8 @@ impl Kernel {
         // is already runnable; a pending wake if it is mid-slice).
         self.sched.make_runnable(victim);
         self.maybe_wake_kswapd();
+        #[cfg(feature = "sanitize")]
+        self.check_invariants();
     }
 
     fn maybe_wake_kswapd(&mut self) {
@@ -1165,6 +1177,158 @@ impl Kernel {
     /// Read-only access to live metrics (diagnostics/tests).
     pub fn metrics(&self) -> &RunMetrics {
         &self.metrics
+    }
+
+    /// CONFIG_DEBUG_VM analog (the `sanitize` feature): a full structural
+    /// cross-check of page tables, the frame pool, swap-slot references,
+    /// in-flight I/O pins, and policy bookkeeping. Runs at quiesce points
+    /// (after reclaim batches, kills, and pressure steps); compiled out of
+    /// release figure runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `sanitize: <invariant>:` message on the first
+    /// violated invariant.
+    #[cfg(feature = "sanitize")]
+    fn check_invariants(&self) {
+        self.mem.phys.check_invariants();
+
+        // Page sweep: every PTE against the reverse map, swap backing,
+        // and the dirty bit.
+        let mut slot_refs: BTreeSet<SwapSlot> = BTreeSet::new();
+        let mut mapped_frames: BTreeSet<FrameId> = BTreeSet::new();
+        for key in 0..self.mem.arena.len() as PageKey {
+            let (space, vpn) = self.mem.locate(key);
+            let pte = self.mem.space(space).pte(vpn);
+            if pte.present() {
+                let Some(frame) = pte.frame() else {
+                    panic!("sanitize: rmap-pte: page {key} present without a frame");
+                };
+                assert_eq!(
+                    self.mem.phys.owner(frame),
+                    Some(key),
+                    "sanitize: rmap-pte: page {key} maps frame {frame} owned by {:?}",
+                    self.mem.phys.owner(frame)
+                );
+                assert_eq!(
+                    self.mem.phys.state(frame),
+                    FrameState::InUse,
+                    "sanitize: rmap-pte: page {key} maps frame {frame} in state {:?}",
+                    self.mem.phys.state(frame)
+                );
+                assert!(
+                    mapped_frames.insert(frame),
+                    "sanitize: rmap-pte: frame {frame} mapped by two pages"
+                );
+                if let Some(slot) = self.mem.backing[key as usize] {
+                    assert!(
+                        !pte.dirty(),
+                        "sanitize: dirty-backing: dirty page {key} still holds swap backing {slot}"
+                    );
+                    assert!(
+                        slot_refs.insert(slot),
+                        "sanitize: swap-slot: slot {slot} referenced twice"
+                    );
+                }
+            } else {
+                assert!(
+                    self.mem.backing[key as usize].is_none(),
+                    "sanitize: dirty-backing: non-resident page {key} holds swap backing"
+                );
+                if pte.swapped() {
+                    let Some(slot) = pte.swap_slot() else {
+                        panic!("sanitize: swap-slot: page {key} swapped without a slot");
+                    };
+                    assert!(
+                        slot_refs.insert(slot),
+                        "sanitize: swap-slot: slot {slot} referenced twice"
+                    );
+                }
+            }
+        }
+
+        // Frame sweep: every in-use frame must be mapped by its owner,
+        // pinned by in-flight fault I/O, or held by a pressure balloon.
+        let balloon: BTreeSet<FrameId> = self.balloon.iter().flatten().copied().collect();
+        for f in 0..self.mem.phys.capacity() as FrameId {
+            match self.mem.phys.owner(f) {
+                Some(BALLOON_KEY) => {
+                    assert!(
+                        balloon.contains(&f),
+                        "sanitize: rmap-pte: frame {f} owned by the balloon key but not held by a pressure step"
+                    );
+                }
+                Some(key) if self.io_pinned.contains(&f) => {
+                    assert!(
+                        self.inflight.contains_key(&key),
+                        "sanitize: inflight-io: io-pinned frame {f} (page {key}) has no inflight fault"
+                    );
+                    assert!(
+                        !mapped_frames.contains(&f),
+                        "sanitize: inflight-io: io-pinned frame {f} is already mapped"
+                    );
+                }
+                Some(key) => {
+                    assert!(
+                        mapped_frames.contains(&f),
+                        "sanitize: rmap-pte: in-use frame {f} owned by page {key} is not mapped"
+                    );
+                }
+                None => {
+                    assert!(
+                        !mapped_frames.contains(&f),
+                        "sanitize: rmap-pte: ownerless frame {f} is mapped"
+                    );
+                }
+            }
+        }
+        for &f in &self.io_pinned {
+            assert_eq!(
+                self.mem.phys.state(f),
+                FrameState::InUse,
+                "sanitize: inflight-io: io-pinned frame {f} in state {:?}",
+                self.mem.phys.state(f)
+            );
+        }
+        assert_eq!(
+            self.inflight.len(),
+            self.io_pinned.len(),
+            "sanitize: inflight-io: {} inflight faults vs {} io-pinned frames",
+            self.inflight.len(),
+            self.io_pinned.len()
+        );
+
+        // Slot sweep: pending-durability slots must be referenced, every
+        // referenced slot must hold data, and the device's live count must
+        // equal the kernel's reference count.
+        for &slot in self.slot_ready.keys() {
+            assert!(
+                slot_refs.contains(&slot),
+                "sanitize: swap-slot: slot {slot} pending durability is unreferenced"
+            );
+        }
+        for &slot in &slot_refs {
+            assert!(
+                self.swap.sanitize_slot_stored(slot),
+                "sanitize: swap-slot: referenced slot {slot} holds no data on the device"
+            );
+        }
+        let live = self.swap.sanitize_check();
+        assert_eq!(
+            live,
+            slot_refs.len() as u64,
+            "sanitize: swap-slot: device reports {live} live slots but the kernel references {}",
+            slot_refs.len()
+        );
+
+        // Policy cross-check: pages the policy tracks vs present PTEs.
+        if let Some(tracked) = self.policy.check_invariants() {
+            let resident = u64::from(self.mem.resident_pages());
+            assert_eq!(
+                tracked, resident,
+                "sanitize: attached-resident: policy tracks {tracked} pages but {resident} PTEs are present"
+            );
+        }
     }
 }
 

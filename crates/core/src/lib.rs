@@ -36,8 +36,6 @@
 //! assert!(metrics.major_faults > 0); // 50% ratio forces paging
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod config;
 pub mod experiments;

@@ -48,7 +48,7 @@ impl MemState {
     }
 
     /// Total resident pages across spaces (diagnostics).
-    #[cfg(test)]
+    #[cfg(any(test, feature = "sanitize"))]
     pub(crate) fn resident_pages(&self) -> u32 {
         self.spaces.iter().map(AddressSpace::resident_pages).sum()
     }

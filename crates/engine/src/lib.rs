@@ -39,8 +39,6 @@
 //! assert_eq!(order, vec!["a", "b", "c"]);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod barrier;
 mod device;

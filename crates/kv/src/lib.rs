@@ -27,8 +27,6 @@
 //! assert!(!plan.touches[0].write);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 use pagesim_mem::{Vpn, PAGE_SIZE};
 

@@ -1,0 +1,940 @@
+//! # pagesim-lint
+//!
+//! Determinism/soundness static analysis for the pagesim workspace — the
+//! build-time analog of Linux's `CONFIG_DEBUG_VM`: unsound simulator
+//! changes should *fail to merge*, not corrupt characterization data.
+//!
+//! The repo's core contract is that figure output is byte-identical for
+//! any `--jobs` count, cache state, or completion order. That contract is
+//! easy to break silently: one `.iter()` over a `HashMap` on a sim path,
+//! one `Instant::now()` folded into a metric, one stray thread. This crate
+//! enforces five rules over the sim crates:
+//!
+//! | rule | id             | what it forbids |
+//! |------|----------------|-----------------|
+//! | L1   | `hash-iter`    | iterating `HashMap`/`HashSet` state (`iter`, `keys`, `values`, `drain`, `into_iter`, `retain`, `for … in`) in sim crates |
+//! | L2   | `wall-clock`   | ambient time/entropy: `Instant::now`, `SystemTime`, `thread_rng`, `RandomState`, `OsRng` in sim crates |
+//! | L3   | `thread-spawn` | `thread::spawn`/`scope`/`Builder` anywhere except `pagesim-bench::sweep` |
+//! | L4   | `lint-header`  | a workspace member without `[lints] workspace = true`, or a root manifest without the `unsafe_code = "forbid"` deny table |
+//! | L5   | `hot-unwrap`   | `.unwrap()`/`.expect(…)` on kernel hot-path files (fault handling, reclaim, swap I/O) — errors must propagate as typed `SimError`s |
+//!
+//! A finding can be waived in place with an annotation **carrying a
+//! reason**, on the same line or the line above:
+//!
+//! ```text
+//! // lint: allow(hash-iter) drained under a sort before use
+//! ```
+//!
+//! An annotation without a reason does not suppress anything.
+//!
+//! ## How it works
+//!
+//! The analyzer is a token-level pass, not a full type checker (the
+//! offline build has no `syn`): source is *scrubbed* — comments, string
+//! and char literals blanked byte-for-byte so line numbers survive —
+//! `#[cfg(test)]` items are stripped, and rules match against the
+//! remaining tokens. L1 tracks identifiers bound to `HashMap`/`HashSet`
+//! through declarations (`name: HashMap<…>`, `let name = HashMap::new()`)
+//! and flags iteration through those names. The pass is a tripwire, not a
+//! verifier: it can miss a hash container laundered through a type alias,
+//! but it catches the way this code is actually written — and the
+//! `sanitize` runtime feature backstops what the static pass cannot see.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The five enforced rules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Rule {
+    /// L1: no iteration over hash-ordered containers in sim crates.
+    HashIter,
+    /// L2: no wall-clock or ambient-entropy sources in sim crates.
+    WallClock,
+    /// L3: no thread creation outside `pagesim-bench::sweep`.
+    ThreadSpawn,
+    /// L4: every member opts into the workspace deny-lint table.
+    LintHeader,
+    /// L5: no `.unwrap()`/`.expect()` on kernel hot paths.
+    HotUnwrap,
+}
+
+impl Rule {
+    /// Short annotation id, as used in `// lint: allow(<id>) <reason>`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::LintHeader => "lint-header",
+            Rule::HotUnwrap => "hot-unwrap",
+        }
+    }
+
+    /// Stable rule code (`L1`..`L5`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::HashIter => "L1",
+            Rule::WallClock => "L2",
+            Rule::ThreadSpawn => "L3",
+            Rule::LintHeader => "L4",
+            Rule::HotUnwrap => "L5",
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Path of the offending file (workspace-relative when produced by
+    /// [`lint_workspace`]).
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}:{}: {}",
+            self.rule.code(),
+            self.rule.id(),
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Which source rules apply to a file (L4 is manifest-level and handled
+/// separately by [`lint_workspace`]).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RuleSet {
+    /// Apply L1 (`hash-iter`).
+    pub hash_iter: bool,
+    /// Apply L2 (`wall-clock`).
+    pub wall_clock: bool,
+    /// Apply L3 (`thread-spawn`).
+    pub thread_spawn: bool,
+    /// Apply L5 (`hot-unwrap`).
+    pub hot_unwrap: bool,
+}
+
+/// Workspace members whose sources carry the full determinism rule set
+/// (directory names under `crates/`).
+pub const SIM_CRATES: &[&str] = &[
+    "core",
+    "engine",
+    "kv",
+    "mem",
+    "policy",
+    "stats",
+    "swap",
+    "workloads",
+];
+
+/// Workspace-relative files on the `SimError` hot path (fault handling,
+/// reclaim, swap I/O) where L5 forbids `.unwrap()`/`.expect()`.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/kernel.rs",
+    "crates/swap/src/device.rs",
+    "crates/swap/src/slots.rs",
+];
+
+/// The one file allowed to create threads: the deterministic sweep
+/// executor.
+pub const THREAD_EXEMPT_FILES: &[&str] = &["crates/bench/src/sweep.rs"];
+
+/// Computes the rule set for a file, given its crate directory name (under
+/// `crates/`) and workspace-relative path.
+pub fn rules_for(crate_dir: &str, rel_path: &str) -> RuleSet {
+    let sim = SIM_CRATES.contains(&crate_dir);
+    RuleSet {
+        hash_iter: sim,
+        wall_clock: sim,
+        thread_spawn: !THREAD_EXEMPT_FILES.contains(&rel_path),
+        hot_unwrap: HOT_PATH_FILES.contains(&rel_path),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source preparation
+// ---------------------------------------------------------------------
+
+/// Blanks comments, string literals, and char literals byte-for-byte,
+/// preserving newlines so scrubbed offsets map to the original lines.
+fn scrub(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::with_capacity(n);
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Line comment (also doc comments).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.extend([b' ', b' ']);
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.extend([b' ', b' ']);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw byte) strings: r"…", r#"…"#, br"…".
+        if (c == b'r' || c == b'b') && !prev_is_ident(&out) {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < n && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == b'"' {
+                    // Blank the whole literal including the prefix.
+                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
+                    i = k + 1;
+                    // Scan for `"` followed by `hashes` hashes.
+                    'raw: while i < n {
+                        if b[i] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Normal (and byte) strings.
+        if c == b'"' || (c == b'b' && i + 1 < n && b[i + 1] == b'"' && !prev_is_ident(&out)) {
+            if c == b'b' {
+                out.push(b' ');
+                i += 1;
+            }
+            out.push(b' ');
+            i += 1;
+            while i < n {
+                if b[i] == b'\\' && i + 1 < n {
+                    out.push(b' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char literal: blank through the closing quote.
+                out.push(b' ');
+                i += 1;
+                while i < n && b[i] != b'\'' {
+                    if b[i] == b'\\' && i + 1 < n {
+                        out.push(b' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                if i < n {
+                    out.push(b' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                out.extend([b' ', b' ', b' ']);
+                i += 3;
+                continue;
+            }
+            // Lifetime: blank the quote, keep the identifier.
+            out.push(b' ');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// Blanks every `#[cfg(test)]` item (test modules, test-only helpers) in
+/// scrubbed source: test code may iterate hashes or unwrap freely — it
+/// never feeds figure output.
+fn strip_cfg_test(scrubbed: &mut [u8]) {
+    const MARKER: &[u8] = b"#[cfg(test)]";
+    let mut i = 0;
+    while let Some(pos) = find_from(scrubbed, MARKER, i) {
+        let mut j = pos + MARKER.len();
+        // Blank from the attribute to the end of the annotated item: the
+        // matching close of its first brace, or a semicolon that comes
+        // first (e.g. a `use`).
+        let mut depth = 0usize;
+        let end;
+        loop {
+            if j >= scrubbed.len() {
+                end = scrubbed.len();
+                break;
+            }
+            match scrubbed[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for byte in &mut scrubbed[pos..end] {
+            if *byte != b'\n' {
+                *byte = b' ';
+            }
+        }
+        i = end;
+    }
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Byte offsets where each line starts; `line_of` maps offsets to 1-based
+/// line numbers.
+struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(text: &[u8]) -> LineIndex {
+        let mut starts = vec![0usize];
+        for (i, &c) in text.iter().enumerate() {
+            if c == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    fn line_of(&self, offset: usize) -> u32 {
+        match self.starts.binary_search(&offset) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allow annotations
+// ---------------------------------------------------------------------
+
+/// Parsed `// lint: allow(<id>) <reason>` annotations, keyed by 1-based
+/// line. The bool records whether a non-empty reason was given — reasons
+/// are mandatory for the annotation to suppress anything.
+fn allow_annotations(src: &str) -> BTreeMap<u32, Vec<(String, bool)>> {
+    let mut map: BTreeMap<u32, Vec<(String, bool)>> = BTreeMap::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &line[pos + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let id = rest[..close].trim().to_owned();
+        let reason = rest[close + 1..].trim();
+        map.entry(idx as u32 + 1)
+            .or_default()
+            .push((id, !reason.is_empty()));
+    }
+    map
+}
+
+fn is_allowed(
+    annotations: &BTreeMap<u32, Vec<(String, bool)>>,
+    rule: Rule,
+    line: u32,
+) -> bool {
+    [line, line.saturating_sub(1)].iter().any(|l| {
+        annotations
+            .get(l)
+            .is_some_and(|v| v.iter().any(|(id, ok)| *ok && id == rule.id()))
+    })
+}
+
+// ---------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Offsets of whole-word occurrences of `word`.
+fn word_occurrences(text: &[u8], word: &str) -> Vec<usize> {
+    let w = word.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = find_from(text, w, i) {
+        let before_ok = pos == 0 || !is_ident_byte(text[pos - 1]);
+        let after = pos + w.len();
+        let after_ok = after >= text.len() || !is_ident_byte(text[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        i = pos + w.len();
+    }
+    out
+}
+
+/// The identifier ending immediately before `end` (skipping trailing
+/// whitespace), if any.
+fn ident_before(text: &[u8], end: usize) -> Option<String> {
+    let mut j = end;
+    while j > 0 && text[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 && is_ident_byte(text[j - 1]) {
+        j -= 1;
+    }
+    (j < stop).then(|| String::from_utf8_lossy(&text[j..stop]).into_owned())
+}
+
+/// Position just before any leading path prefix (`std::collections::`)
+/// ending at `pos`.
+fn skip_path_prefix(text: &[u8], mut pos: usize) -> usize {
+    loop {
+        let mut j = pos;
+        while j > 0 && text[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        if j >= 2 && text[j - 1] == b':' && text[j - 2] == b':' {
+            let mut k = j - 2;
+            while k > 0 && text[k - 1].is_ascii_whitespace() {
+                k -= 1;
+            }
+            while k > 0 && is_ident_byte(text[k - 1]) {
+                k -= 1;
+            }
+            pos = k;
+        } else {
+            return j;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule passes
+// ---------------------------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// L1: collect names bound to `HashMap`/`HashSet`, then flag iteration
+/// through them.
+fn check_hash_iter(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
+    let mut hash_names: Vec<String> = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for pos in word_occurrences(text, ty) {
+            let before = skip_path_prefix(text, pos);
+            if before == 0 {
+                continue;
+            }
+            let name = match text[before - 1] {
+                // `name: HashMap<…>` (field, param, or annotated let) —
+                // but not a path separator, which skip_path_prefix already
+                // consumed.
+                b':' if before < 2 || text[before - 2] != b':' => ident_before(text, before - 1),
+                // `name = HashMap::new()` / `let name = HashMap::new()`.
+                b'=' => ident_before(text, before - 1),
+                _ => None,
+            };
+            if let Some(name) = name {
+                if name != "let" && !hash_names.contains(&name) {
+                    hash_names.push(name);
+                }
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    // `name.iter()` and friends.
+    for method in ITER_METHODS {
+        for pos in word_occurrences(text, method) {
+            let after = pos + method.len();
+            let mut a = after;
+            while a < text.len() && text[a].is_ascii_whitespace() {
+                a += 1;
+            }
+            if a >= text.len() || text[a] != b'(' {
+                continue;
+            }
+            let mut j = pos;
+            while j > 0 && text[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j == 0 || text[j - 1] != b'.' {
+                continue;
+            }
+            let Some(receiver) = ident_before(text, j - 1) else {
+                continue;
+            };
+            if hash_names.contains(&receiver) {
+                out.push(Finding {
+                    rule: Rule::HashIter,
+                    file: file.to_owned(),
+                    line: lines.line_of(pos),
+                    message: format!(
+                        "`{receiver}.{method}()` iterates a hash-ordered container; \
+                         use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                });
+            }
+        }
+    }
+    // `for … in <expr ending in a hash name> {`.
+    for pos in word_occurrences(text, "for") {
+        let Some(in_pos) = word_occurrences(&text[pos..], "in")
+            .first()
+            .map(|p| p + pos)
+        else {
+            continue;
+        };
+        let Some(brace) = find_from(text, b"{", in_pos) else {
+            continue;
+        };
+        let expr = &text[in_pos + 2..brace];
+        if expr.contains(&b'(') || expr.contains(&b'\n') && brace - in_pos > 200 {
+            continue;
+        }
+        let Some(last) = ident_before(text, brace) else {
+            continue;
+        };
+        if hash_names.contains(&last) {
+            out.push(Finding {
+                rule: Rule::HashIter,
+                file: file.to_owned(),
+                line: lines.line_of(pos),
+                message: format!(
+                    "`for … in {last}` iterates a hash-ordered container; \
+                     use BTreeMap/BTreeSet or sort before iterating"
+                ),
+            });
+        }
+    }
+}
+
+/// L2: ambient time/entropy tokens.
+fn check_wall_clock(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
+    // (needle, must_be_followed_by_path_sep, message)
+    let banned: &[(&str, &str)] = &[
+        ("SystemTime", "`std::time::SystemTime` is wall-clock state"),
+        ("thread_rng", "`thread_rng` draws OS entropy"),
+        ("RandomState", "`RandomState` seeds from OS entropy per process"),
+        ("OsRng", "`OsRng` draws OS entropy"),
+    ];
+    for (word, why) in banned {
+        for pos in word_occurrences(text, word) {
+            out.push(Finding {
+                rule: Rule::WallClock,
+                file: file.to_owned(),
+                line: lines.line_of(pos),
+                message: format!("{why}; sim results must be a pure function of the seed"),
+            });
+        }
+    }
+    // `Instant` only when it is std::time's: `Instant::now`, or a
+    // `std::time::Instant` path/import.
+    for pos in word_occurrences(text, "Instant") {
+        let after = pos + "Instant".len();
+        let is_now = text.get(after) == Some(&b':')
+            && find_from(text, b"now", after).is_some_and(|p| p <= after + 4);
+        let before = skip_path_prefix(text, pos);
+        let is_std_path = before < pos
+            && String::from_utf8_lossy(&text[before..pos]).contains("time");
+        if is_now || is_std_path {
+            out.push(Finding {
+                rule: Rule::WallClock,
+                file: file.to_owned(),
+                line: lines.line_of(pos),
+                message: "`std::time::Instant` is wall-clock state; use SimTime".to_owned(),
+            });
+        }
+    }
+}
+
+/// L3: thread creation.
+fn check_thread_spawn(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
+    for api in ["spawn", "scope", "Builder"] {
+        for pos in word_occurrences(text, api) {
+            let before = skip_path_prefix(text, pos);
+            if before >= pos {
+                continue; // bare `spawn`, not `thread::spawn`
+            }
+            let path = String::from_utf8_lossy(&text[before..pos]);
+            if path.contains("thread") {
+                out.push(Finding {
+                    rule: Rule::ThreadSpawn,
+                    file: file.to_owned(),
+                    line: lines.line_of(pos),
+                    message: format!(
+                        "`thread::{api}` outside pagesim-bench::sweep; all parallelism \
+                         must go through the deterministic sweep executor"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L5: `.unwrap()`/`.expect()` on hot-path files.
+fn check_hot_unwrap(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
+    for method in ["unwrap", "expect"] {
+        for pos in word_occurrences(text, method) {
+            let mut j = pos;
+            while j > 0 && text[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j == 0 || text[j - 1] != b'.' {
+                continue;
+            }
+            let mut a = pos + method.len();
+            while a < text.len() && text[a].is_ascii_whitespace() {
+                a += 1;
+            }
+            if a >= text.len() || text[a] != b'(' {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::HotUnwrap,
+                file: file.to_owned(),
+                line: lines.line_of(pos),
+                message: format!(
+                    "`.{method}()` on a SimError hot path; propagate a typed error \
+                     so one bad cell cannot abort a figure sweep"
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the applicable source rules over one file's contents.
+pub fn lint_source(rules: RuleSet, file: &str, source: &str) -> Vec<Finding> {
+    let annotations = allow_annotations(source);
+    let mut text = scrub(source);
+    strip_cfg_test(&mut text);
+    let lines = LineIndex::new(&text);
+    let mut found = Vec::new();
+    if rules.hash_iter {
+        check_hash_iter(&text, &lines, file, &mut found);
+    }
+    if rules.wall_clock {
+        check_wall_clock(&text, &lines, file, &mut found);
+    }
+    if rules.thread_spawn {
+        check_thread_spawn(&text, &lines, file, &mut found);
+    }
+    if rules.hot_unwrap {
+        check_hot_unwrap(&text, &lines, file, &mut found);
+    }
+    found.retain(|f| !is_allowed(&annotations, f.rule, f.line));
+    found.sort_by_key(|a| (a.line, a.rule));
+    found
+}
+
+// ---------------------------------------------------------------------
+// Workspace scan
+// ---------------------------------------------------------------------
+
+/// Result of a whole-workspace scan.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Rust sources scanned.
+    pub files_scanned: usize,
+}
+
+/// L4: manifest checks — the root deny table and each member's opt-in.
+fn check_manifests(root: &Path, crate_dirs: &[PathBuf], out: &mut Vec<Finding>) {
+    let root_manifest = root.join("Cargo.toml");
+    let root_text = std::fs::read_to_string(&root_manifest).unwrap_or_default();
+    if !toml_section_has(&root_text, "[workspace.lints.rust]", "unsafe_code", "forbid") {
+        out.push(Finding {
+            rule: Rule::LintHeader,
+            file: "Cargo.toml".to_owned(),
+            line: 1,
+            message: "workspace root must define `[workspace.lints.rust]` with \
+                      `unsafe_code = \"forbid\"`"
+                .to_owned(),
+        });
+    }
+    for dir in crate_dirs {
+        let manifest = dir.join("Cargo.toml");
+        let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+        if !toml_section_has(&text, "[lints]", "workspace", "true") {
+            let rel = manifest
+                .strip_prefix(root)
+                .unwrap_or(&manifest)
+                .to_string_lossy()
+                .into_owned();
+            out.push(Finding {
+                rule: Rule::LintHeader,
+                file: rel,
+                line: 1,
+                message: "workspace member must opt into the deny-lint table with \
+                          `[lints] workspace = true`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Whether `section` in `toml` contains a `key = value`-ish line (string
+/// quotes on the value optional). Hand-rolled: the offline build has no
+/// toml parser, and Cargo manifests in this repo are plain.
+fn toml_section_has(toml: &str, section: &str, key: &str, value: &str) -> bool {
+    let mut in_section = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == section;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            continue;
+        };
+        if k.trim() == key && v.trim().trim_matches('"') == value {
+            return true;
+        }
+    }
+    false
+}
+
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        children.sort();
+        for p in children {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Scans the whole workspace rooted at `root`: every member under
+/// `crates/*` plus the umbrella `src/`, applying [`rules_for`] per file
+/// and the L4 manifest checks. `vendor/*` stand-ins are external code and
+/// are skipped.
+pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    check_manifests(root, &crate_dirs, &mut report.findings);
+    let mut scan = |crate_dir: &str, src_dir: &Path| {
+        for path in rust_sources(src_dir) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let rules = rules_for(crate_dir, &rel);
+            let Ok(source) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            report.files_scanned += 1;
+            report.findings.extend(lint_source(rules, &rel, &source));
+        }
+    };
+    for dir in &crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        // Scan everything shipped by the crate: src/, tests/ and benches/
+        // are covered by the test-module stripper only when inline, so
+        // integration tests get the thread/entropy rules too — except the
+        // dedicated tests/ trees, which legitimately compare wall-clock
+        // speedups. Scanning src/ only keeps the signal crisp.
+        scan(&name, &dir.join("src"));
+    }
+    scan("repro-umbrella", &root.join("src"));
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: RuleSet = RuleSet {
+        hash_iter: true,
+        wall_clock: true,
+        thread_spawn: true,
+        hot_unwrap: false,
+    };
+
+    #[test]
+    fn scrubbing_blanks_comments_and_strings() {
+        let src = "let a = \"HashMap::new()\"; // HashMap\n/* HashSet */ let b = 1;\n";
+        let s = scrub(src);
+        let text = String::from_utf8_lossy(&s);
+        assert!(!text.contains("HashMap"));
+        assert!(!text.contains("HashSet"));
+        assert_eq!(text.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let _ = r#\"thread_rng\"#; }";
+        let s = scrub(src);
+        let text = String::from_utf8_lossy(&s);
+        assert!(!text.contains("thread_rng"));
+        assert!(text.contains("fn f<"));
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_with_line() {
+        let src = "struct S { m: std::collections::HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) {\n\
+                   for x in self.m.values() { drop(x); }\n\
+                   } }\n";
+        let found = lint_source(SIM, "x.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::HashIter);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn hash_membership_ops_are_fine() {
+        let src = "struct S { m: std::collections::HashMap<u32, u32> }\n\
+                   impl S { fn f(&mut self) {\n\
+                   self.m.insert(1, 2); let _ = self.m.get(&1); self.m.remove(&1);\n\
+                   } }\n";
+        assert!(lint_source(SIM, "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_requires_reason() {
+        let with_reason = "fn f() { let t = std::time::SystemTime::now(); } \
+                           // lint: allow(wall-clock) host timing printed to stderr only\n";
+        assert!(lint_source(SIM, "x.rs", with_reason).is_empty());
+        let without = "fn f() { let t = std::time::SystemTime::now(); } // lint: allow(wall-clock)\n";
+        assert_eq!(lint_source(SIM, "x.rs", without).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "fn main() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { let _ = rand::thread_rng(); }\n\
+                   }\n";
+        assert!(lint_source(SIM, "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn toml_section_matcher() {
+        let toml = "[package]\nname = \"x\"\n[lints]\nworkspace = true\n";
+        assert!(toml_section_has(toml, "[lints]", "workspace", "true"));
+        assert!(!toml_section_has(toml, "[lints]", "workspace", "false"));
+        assert!(!toml_section_has("[package]\n", "[lints]", "workspace", "true"));
+    }
+}

@@ -1,0 +1,110 @@
+//! `pagesim-lint` CLI: the workspace determinism/soundness gate.
+//!
+//! ```text
+//! pagesim-lint --workspace [--root DIR]      # scan a pagesim workspace
+//! pagesim-lint --check-file F [--as-crate C] [--hot]   # lint one file
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pagesim_lint::{lint_source, lint_workspace, rules_for, RuleSet};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pagesim-lint --workspace [--root DIR]\n\
+         \x20      pagesim-lint --check-file FILE [--as-crate CRATE] [--hot]\n\
+         \n\
+         --workspace        scan crates/* and src/ under the workspace root\n\
+         --root DIR         workspace root (default: current directory)\n\
+         --check-file FILE  lint a single source file\n\
+         --as-crate CRATE   crate dir name FILE should be judged as (default: core)\n\
+         --hot              additionally apply the hot-path unwrap rule (L5)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut workspace = false;
+    let mut check_file: Option<PathBuf> = None;
+    let mut as_crate = String::from("core");
+    let mut hot = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--check-file" => match it.next() {
+                Some(f) => check_file = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--as-crate" => match it.next() {
+                Some(c) => as_crate = c.clone(),
+                None => return usage(),
+            },
+            "--hot" => hot = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if workspace == check_file.is_some() {
+        // Exactly one mode must be selected.
+        return usage();
+    }
+
+    let findings = if workspace {
+        match lint_workspace(&root) {
+            Ok(report) => {
+                eprintln!(
+                    "pagesim-lint: scanned {} files, {} finding(s)",
+                    report.files_scanned,
+                    report.findings.len()
+                );
+                report.findings
+            }
+            Err(e) => {
+                eprintln!("pagesim-lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let path = check_file.expect("mode checked above");
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pagesim-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = path.to_string_lossy().replace('\\', "/");
+        let mut rules = rules_for(&as_crate, &rel);
+        if hot {
+            rules = RuleSet {
+                hot_unwrap: true,
+                ..rules
+            };
+        }
+        lint_source(rules, &rel, &source)
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

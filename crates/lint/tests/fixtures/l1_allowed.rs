@@ -1,0 +1,13 @@
+// Fixture: L1 violation waived by an allow annotation with a reason.
+use std::collections::HashMap;
+
+struct Stats {
+    counts: HashMap<u64, u64>,
+}
+
+impl Stats {
+    fn total(&self) -> u64 {
+        // lint: allow(hash-iter) summation is order-independent
+        self.counts.values().sum()
+    }
+}

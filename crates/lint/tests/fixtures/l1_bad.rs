@@ -1,0 +1,22 @@
+// Fixture: L1 hash-iter violations. Never compiled; scanned by the
+// analyzer integration test.
+use std::collections::{HashMap, HashSet};
+
+struct Kernel {
+    slot_ready: HashMap<u64, u64>,
+    pinned: HashSet<u32>,
+}
+
+impl Kernel {
+    fn drain_ready(&mut self) {
+        for (slot, at) in self.slot_ready.iter() {
+            let _ = (slot, at);
+        }
+    }
+
+    fn sweep(&mut self) {
+        for frame in &self.pinned {
+            let _ = frame;
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: L1-clean. Ordered containers may be iterated; hash containers
+// may be used for membership only.
+use std::collections::{BTreeMap, HashMap};
+
+struct Kernel {
+    slot_ready: BTreeMap<u64, u64>,
+    lookup: HashMap<u64, u64>,
+}
+
+impl Kernel {
+    fn drain_ready(&mut self) {
+        for (slot, at) in self.slot_ready.iter() {
+            let _ = (slot, at);
+        }
+    }
+
+    fn probe(&mut self, k: u64) -> Option<u64> {
+        self.lookup.insert(k, 1);
+        self.lookup.get(&k).copied()
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: L2 wall-clock / ambient entropy violations.
+use std::time::Instant;
+
+fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    t0.elapsed().as_nanos()
+}

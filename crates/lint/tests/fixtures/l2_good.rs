@@ -1,0 +1,7 @@
+// Fixture: L2-clean. Time is simulated, entropy is seeded.
+struct SimTime(u64);
+
+fn stamp(now: SimTime, seed: u64) -> u64 {
+    // A seeded generator is fine; only ambient entropy is banned.
+    now.0 ^ seed.wrapping_mul(0x9E3779B97F4A7C15)
+}

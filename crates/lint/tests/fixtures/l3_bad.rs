@@ -1,0 +1,5 @@
+// Fixture: L3 thread-spawn violation outside the sweep executor.
+fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

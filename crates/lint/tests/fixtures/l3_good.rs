@@ -1,0 +1,5 @@
+// Fixture: L3-clean. Work is expressed as data; the sweep executor owns
+// all parallelism.
+fn fan_out(specs: &[u64]) -> Vec<u64> {
+    specs.iter().map(|s| s + 1).collect()
+}

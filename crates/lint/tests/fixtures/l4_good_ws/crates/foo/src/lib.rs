@@ -1,0 +1,1 @@
+// Fixture member source; intentionally empty of violations.

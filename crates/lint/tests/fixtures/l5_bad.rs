@@ -1,0 +1,6 @@
+// Fixture: L5 hot-unwrap violations on a kernel hot path.
+fn fault(slot: Option<u64>, frame: Result<u32, ()>) -> u64 {
+    let s = slot.unwrap();
+    let f = frame.expect("no frame");
+    s + f as u64
+}

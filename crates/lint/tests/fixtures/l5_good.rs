@@ -1,0 +1,8 @@
+// Fixture: L5-clean. Hot-path errors propagate as typed values.
+enum SimError {
+    Deadlock,
+}
+
+fn fault(slot: Option<u64>) -> Result<u64, SimError> {
+    slot.ok_or(SimError::Deadlock)
+}

@@ -28,8 +28,6 @@
 //! assert!(space.pte(3).accessed());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod addrspace;
 mod arena;

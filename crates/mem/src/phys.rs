@@ -209,6 +209,97 @@ impl PhysMem {
     }
 }
 
+/// DEBUG_VM-style frame-accounting sanitizer (the `sanitize` feature).
+/// Compiled out of release figure runs; exercised by
+/// `cargo test --workspace --features sanitize`.
+#[cfg(feature = "sanitize")]
+impl PhysMem {
+    /// Verifies the **frame-accounting** invariant: the free list, the
+    /// per-frame states, the reverse map, and the write-back counter must
+    /// tell one consistent story.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `sanitize: frame-accounting:` message on any
+    /// inconsistency.
+    pub fn check_invariants(&self) {
+        let mut free_states = 0usize;
+        let mut writeback_states = 0usize;
+        for (f, &st) in self.state.iter().enumerate() {
+            match st {
+                FrameState::Free => {
+                    free_states += 1;
+                    assert!(
+                        self.owner[f].is_none(),
+                        "sanitize: frame-accounting: free frame {f} has owner {:?}",
+                        self.owner[f]
+                    );
+                }
+                FrameState::InUse => {
+                    assert!(
+                        self.owner[f].is_some(),
+                        "sanitize: frame-accounting: in-use frame {f} has no owner"
+                    );
+                }
+                FrameState::Writeback => {
+                    writeback_states += 1;
+                    assert!(
+                        self.owner[f].is_none(),
+                        "sanitize: frame-accounting: writeback frame {f} has owner {:?}",
+                        self.owner[f]
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            self.free.len(),
+            free_states,
+            "sanitize: frame-accounting: free list holds {} frames but {} frames are in state Free",
+            self.free.len(),
+            free_states
+        );
+        assert_eq!(
+            self.writeback_count, writeback_states,
+            "sanitize: frame-accounting: writeback counter {} vs {} frames in state Writeback",
+            self.writeback_count, writeback_states
+        );
+        let mut on_free_list = vec![false; self.owner.len()];
+        for &f in &self.free {
+            let fi = f as usize;
+            assert!(
+                fi < self.owner.len(),
+                "sanitize: frame-accounting: free list entry {f} out of range"
+            );
+            assert!(
+                !on_free_list[fi],
+                "sanitize: frame-accounting: frame {f} on the free list twice"
+            );
+            on_free_list[fi] = true;
+            assert_eq!(
+                self.state[fi],
+                FrameState::Free,
+                "sanitize: frame-accounting: frame {f} on the free list in state {:?}",
+                self.state[fi]
+            );
+        }
+    }
+
+    /// Deliberately breaks frame accounting (marks an in-use frame `Free`
+    /// without returning it to the free list), so tests can prove the
+    /// sanitizer trips. Test-only by construction: it corrupts the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is currently in use.
+    pub fn corrupt_frame_accounting_for_test(&mut self) {
+        let f = (0..self.capacity())
+            .find(|&f| self.state[f] == FrameState::InUse)
+            .expect("corrupt_frame_accounting_for_test needs an allocated frame");
+        self.state[f] = FrameState::Free;
+        self.owner[f] = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

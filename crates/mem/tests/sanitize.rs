@@ -1,0 +1,48 @@
+//! Negative test for the DEBUG_VM-style sanitizer: deliberately corrupted
+//! frame accounting must trip the named invariant, and a healthy pool must
+//! not.
+
+#![cfg(feature = "sanitize")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pagesim_mem::{PhysMem, Watermarks};
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+#[test]
+fn healthy_pool_passes_through_lifecycle() {
+    let mut pm = PhysMem::new(32, Watermarks::for_capacity(32));
+    pm.check_invariants();
+    let a = pm.allocate(3).expect("frames available");
+    let b = pm.allocate(4).expect("frames available");
+    pm.check_invariants();
+    pm.begin_writeback(a);
+    pm.check_invariants();
+    pm.writeback_done(a);
+    pm.free(b);
+    pm.check_invariants();
+}
+
+#[test]
+fn corrupted_frame_accounting_trips_named_invariant() {
+    let mut pm = PhysMem::new(32, Watermarks::for_capacity(32));
+    pm.allocate(3).expect("frames available");
+    pm.check_invariants();
+    pm.corrupt_frame_accounting_for_test();
+    let payload = catch_unwind(AssertUnwindSafe(|| pm.check_invariants()))
+        .expect_err("sanitizer must trip on a leaked frame");
+    let msg = panic_message(payload);
+    assert!(
+        msg.contains("sanitize: frame-accounting"),
+        "panic must name the violated invariant, got: {msg}"
+    );
+}

@@ -193,6 +193,53 @@ impl Policy for ClockLru {
     fn stats(&self) -> PolicyStats {
         self.stats
     }
+
+    #[cfg(feature = "sanitize")]
+    fn check_invariants(&self) -> Option<u64> {
+        let mut listed = vec![false; self.nodes.len()];
+        let mut total: u64 = 0;
+        for (list, which) in [
+            (&self.active, Residence::Active),
+            (&self.inactive, Residence::Inactive),
+        ] {
+            let mut count: u32 = 0;
+            for key in list.iter_from_back(&self.nodes) {
+                assert!(
+                    !std::mem::replace(&mut listed[key as usize], true),
+                    "sanitize: clock-list: page {key} on two lists"
+                );
+                assert_eq!(
+                    self.state[key as usize], which,
+                    "sanitize: clock-list: page {key} on the {which:?} list with state {:?}",
+                    self.state[key as usize]
+                );
+                count += 1;
+            }
+            assert_eq!(
+                count,
+                list.len(),
+                "sanitize: clock-list: list claims {} pages, walk found {count}",
+                list.len()
+            );
+            total += count as u64;
+        }
+        for (key, node) in self.nodes.iter().enumerate() {
+            assert_eq!(
+                node.attached(),
+                listed[key],
+                "sanitize: clock-list: page {key} attached flag disagrees with list membership"
+            );
+            if !node.attached() {
+                assert_eq!(
+                    self.state[key],
+                    Residence::None,
+                    "sanitize: clock-list: detached page {key} keeps state {:?}",
+                    self.state[key]
+                );
+            }
+        }
+        Some(total)
+    }
 }
 
 #[cfg(test)]

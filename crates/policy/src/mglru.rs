@@ -691,6 +691,89 @@ impl Policy for MgLru {
     fn stats(&self) -> PolicyStats {
         self.stats
     }
+
+    #[cfg(feature = "sanitize")]
+    fn check_invariants(&self) -> Option<u64> {
+        let min_seq = self.min_seq();
+        let max_seq = self.max_seq();
+        assert!(
+            (MIN_NR_GENS..=self.cfg.max_gens as usize).contains(&self.gens.len()),
+            "sanitize: gen-population: {} generations outside [{MIN_NR_GENS}, {}]",
+            self.gens.len(),
+            self.cfg.max_gens
+        );
+        let mut listed = vec![false; self.nodes.len()];
+        let mut total: u64 = 0;
+        for (i, gen) in self.gens.iter().enumerate() {
+            assert_eq!(
+                gen.seq,
+                min_seq + i as u64,
+                "sanitize: gen-population: gen index {i} has seq {} (min_seq {min_seq})",
+                gen.seq
+            );
+            let mut walk = |list: &PageList, is_file: bool, tier: u8| -> u64 {
+                let mut count: u32 = 0;
+                for key in list.iter_from_back(&self.nodes) {
+                    let meta = &self.meta[key as usize];
+                    assert!(
+                        !std::mem::replace(&mut listed[key as usize], true),
+                        "sanitize: gen-population: page {key} on two lists"
+                    );
+                    assert_eq!(
+                        meta.pos, gen.seq,
+                        "sanitize: gen-population: page {key} on gen {} but pos tag {}",
+                        gen.seq, meta.pos
+                    );
+                    assert_eq!(
+                        meta.is_file, is_file,
+                        "sanitize: gen-population: page {key} on the wrong kind of list"
+                    );
+                    if is_file {
+                        assert_eq!(
+                            meta.tier, tier,
+                            "sanitize: gen-population: page {key} on tier {tier} list but tier tag {}",
+                            meta.tier
+                        );
+                    }
+                    assert!(
+                        meta.seq >= meta.pos && meta.seq <= max_seq,
+                        "sanitize: gen-population: page {key} logical seq {} outside [{}, {max_seq}]",
+                        meta.seq,
+                        meta.pos
+                    );
+                    count += 1;
+                }
+                assert_eq!(
+                    count,
+                    list.len(),
+                    "sanitize: gen-population: list claims {} pages, walk found {count}",
+                    list.len()
+                );
+                count as u64
+            };
+            total += walk(&gen.anon, false, 0);
+            for (t, list) in gen.file.iter().enumerate() {
+                total += walk(list, true, t as u8);
+            }
+        }
+        for (key, node) in self.nodes.iter().enumerate() {
+            assert_eq!(
+                node.attached(),
+                listed[key],
+                "sanitize: gen-population: page {key} attached flag disagrees with list membership"
+            );
+            if !node.attached() {
+                let meta = &self.meta[key];
+                assert!(
+                    meta.pos == NONE_SEQ && meta.seq == NONE_SEQ,
+                    "sanitize: gen-population: detached page {key} keeps seq {} / pos {}",
+                    meta.seq,
+                    meta.pos
+                );
+            }
+        }
+        Some(total)
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,6 @@
 //! assert_eq!(s.max, 4.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod histogram;
 mod moments;

@@ -100,6 +100,18 @@ pub trait SwapDevice {
     fn backlog(&self, now: SimTime) -> pagesim_engine::Nanos;
     /// Counters.
     fn stats(&self) -> SwapStats;
+    /// Sanitize probe: whether `slot` currently holds written page data
+    /// (allocated, written, not yet released).
+    #[cfg(feature = "sanitize")]
+    fn sanitize_slot_stored(&self, slot: SwapSlot) -> bool;
+    /// Sanitize sweep: verifies the device's internal slot/pool accounting
+    /// and returns the live slot count for kernel-side cross-checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `sanitize: swap-slot:` message on any inconsistency.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&self) -> u64;
 }
 
 /// SSD swap: a FIFO request queue in front of `parallelism` flash channels.
@@ -237,6 +249,24 @@ impl SwapDevice for SsdDevice {
             stall_delay_ns: self.queue.fault_stats().stall_delay_ns,
             ..self.stats
         }
+    }
+
+    #[cfg(feature = "sanitize")]
+    fn sanitize_slot_stored(&self, slot: SwapSlot) -> bool {
+        self.stored.contains_key(&slot)
+    }
+
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&self) -> u64 {
+        let live = self.slots.check_invariants();
+        assert_eq!(
+            self.stored.len() as u64,
+            live,
+            "sanitize: swap-slot: ssd stores {} slots but {} are live",
+            self.stored.len(),
+            live
+        );
+        live
     }
 }
 
@@ -408,6 +438,31 @@ impl SwapDevice for ZramDevice {
 
     fn stats(&self) -> SwapStats {
         self.stats
+    }
+
+    #[cfg(feature = "sanitize")]
+    fn sanitize_slot_stored(&self, slot: SwapSlot) -> bool {
+        self.stored.contains_key(&slot)
+    }
+
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&self) -> u64 {
+        let live = self.slots.check_invariants();
+        assert_eq!(
+            self.stored.len() as u64,
+            live,
+            "sanitize: swap-slot: zram stores {} slots but {} are live",
+            self.stored.len(),
+            live
+        );
+        // lint: allow(hash-iter) order-independent sum over stored sizes
+        let stored_bytes: u64 = self.stored.values().map(|&s| s as u64).sum();
+        assert_eq!(
+            self.pool_bytes, stored_bytes,
+            "sanitize: swap-slot: zram pool counter {} vs {} bytes actually stored",
+            self.pool_bytes, stored_bytes
+        );
+        live
     }
 }
 

@@ -30,8 +30,6 @@
 //! assert!(zram.used_bytes() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 mod compress;
 mod device;

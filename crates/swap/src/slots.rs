@@ -60,6 +60,42 @@ impl SlotAllocator {
     }
 }
 
+/// DEBUG_VM-style slot-accounting sanitizer (the `sanitize` feature).
+#[cfg(feature = "sanitize")]
+impl SlotAllocator {
+    /// Verifies the **swap-slot** accounting invariant: every slot ever
+    /// minted is either live or on the free list, exactly once. Returns
+    /// the live count for cross-checks against kernel-side references.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a `sanitize: swap-slot:` message on any inconsistency.
+    pub fn check_invariants(&self) -> u64 {
+        let mut on_free = vec![false; self.next_fresh as usize];
+        for &s in &self.free {
+            assert!(
+                s < self.next_fresh,
+                "sanitize: swap-slot: freed slot {s} was never allocated (high water {})",
+                self.next_fresh
+            );
+            assert!(
+                !on_free[s as usize],
+                "sanitize: swap-slot: slot {s} on the free list twice"
+            );
+            on_free[s as usize] = true;
+        }
+        assert_eq!(
+            self.live,
+            self.next_fresh as u64 - self.free.len() as u64,
+            "sanitize: swap-slot: live count {} vs {} minted - {} free",
+            self.live,
+            self.next_fresh,
+            self.free.len()
+        );
+        self.live
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
