@@ -3,28 +3,52 @@
 //! ```text
 //! repro [--scale smoke|default|paper] [--seed N] [--jobs N]
 //!       [--cache-dir DIR | --no-cache] [fig1 fig2 ... | faults | all]
+//! repro trace <fig> [--cell N] [--trial N] [--trace-out FILE]...
+//!       [--sample-interval NS] [--trace-events N] [--list]
 //! ```
 //!
-//! Each subcommand prints the same normalized series the corresponding
-//! figure of the paper plots. Before rendering, every cell the requested
-//! figures need is precomputed by the sweep executor: `--jobs N` worker
-//! threads (default: all cores) drain the trial queue, consulting a
-//! content-addressed cell cache (default `.pagesim-cache/`, `--cache-dir`
-//! to relocate, `--no-cache` to disable). Figure output on stdout is
-//! byte-identical regardless of `--jobs` and cache state; the sweep
-//! summary goes to stderr.
+//! Each figure subcommand prints the same normalized series the
+//! corresponding figure of the paper plots. Before rendering, every cell
+//! the requested figures need is precomputed by the sweep executor:
+//! `--jobs N` worker threads (default: all cores) drain the trial queue,
+//! consulting a content-addressed cell cache (default `.pagesim-cache/`,
+//! `--cache-dir` to relocate, `--no-cache` to disable). Figure output on
+//! stdout is byte-identical regardless of `--jobs` and cache state; the
+//! sweep summary goes to stderr.
+//!
+//! The `trace` subcommand runs one figure with deterministic telemetry
+//! attached to a single trial (`--cell`/`--trial` pick which; `--list`
+//! shows the figure's cell grid). The figure output is unchanged — the
+//! traced trial produces identical metrics — and the trace is written to
+//! each `--trace-out` path: `.jsonl` suffixes get JSON Lines (validated by
+//! `trace-validate`), anything else gets Chrome `trace_event` JSON for
+//! Perfetto / `chrome://tracing`. Default: `trace.json`.
 
 use pagesim::experiments::{self, Bench, Scale, Wl};
-use pagesim_bench::sweep::{default_jobs, run_sweep, SweepOptions};
+use pagesim_bench::sweep::{
+    default_jobs, run_sweep, run_sweep_traced, SweepOptions, TraceRequest,
+};
+use pagesim_trace::TraceConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale smoke|default|paper] [--seed N] [--jobs N]\n\
          \x20            [--cache-dir DIR | --no-cache] [fig1..fig12 | faults | all]\n\
+         \x20      repro trace <fig> [--cell N] [--trial N] [--trace-out FILE]...\n\
+         \x20            [--sample-interval NS] [--trace-events N] [--list]\n\
          \n\
-         --jobs N       sweep worker threads (default: all cores)\n\
-         --cache-dir D  cell cache directory (default: .pagesim-cache)\n\
-         --no-cache     disable the on-disk cell cache\n\
+         --jobs N            sweep worker threads (default: all cores)\n\
+         --cache-dir D       cell cache directory (default: .pagesim-cache)\n\
+         --no-cache          disable the on-disk cell cache\n\
+         \n\
+         trace subcommand:\n\
+         --cell N            cell index within the figure grid (default 0; see --list)\n\
+         --trial N           trial index to trace (default 0)\n\
+         --trace-out FILE    output path, repeatable; .jsonl => JSON Lines,\n\
+         \x20                    otherwise Chrome trace_event (default: trace.json)\n\
+         --sample-interval N sampler interval in simulated ns (default 10ms)\n\
+         --trace-events N    event ring capacity (default 65536)\n\
+         --list              print the figure's cells and exit\n\
          \n\
          fig1   mean runtime & faults, MG-LRU vs Clock (SSD, 50%)\n\
          fig2   joint runtime/fault distributions, Clock vs MG-LRU\n\
@@ -43,11 +67,46 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+fn render_fig(bench: &Bench, fig: &str) -> String {
+    match fig {
+        "fig1" => experiments::fig1(bench).to_string(),
+        "fig2" => experiments::fig2(bench).to_string(),
+        "fig3" => experiments::fig3(bench).to_string(),
+        "fig4" => experiments::fig4(bench).to_string(),
+        "fig5" => experiments::fig5(bench).to_string(),
+        "fig6" => experiments::fig6(bench).to_string(),
+        "fig7" => experiments::fig7(bench).to_string(),
+        "fig8" => experiments::fig8(bench).to_string(),
+        "fig9" => experiments::fig9(bench).to_string(),
+        "fig10" => experiments::fig10(bench).to_string(),
+        "fig11" => experiments::fig11(bench).to_string(),
+        "fig12" => experiments::fig12(bench).to_string(),
+        "faults" => experiments::faults(bench).to_string(),
+        _ => usage(),
+    }
+}
+
+fn print_header(bench: &Bench, scale: Scale) {
+    println!(
+        "# pagesim repro — trials/cell: {}, footprint factor: {:.2}, seed: {}",
+        scale.trials, scale.footprint, scale.seed
+    );
+    for wl in Wl::all() {
+        println!("#   {} footprint: {} pages", wl.label(), bench.footprint(wl));
+    }
+    println!();
+}
+
 fn main() {
     let mut scale = Scale::default_scale();
     let mut figs: Vec<String> = Vec::new();
     let mut jobs = default_jobs();
     let mut cache_dir = Some(std::path::PathBuf::from(".pagesim-cache"));
+    let mut trace_outs: Vec<std::path::PathBuf> = Vec::new();
+    let mut cell_idx = 0usize;
+    let mut trial = 0u32;
+    let mut trace_cfg = TraceConfig::default();
+    let mut list_cells = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -80,50 +139,147 @@ fn main() {
                 cache_dir = Some(std::path::PathBuf::from(v));
             }
             "--no-cache" => cache_dir = None,
+            "--cell" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cell_idx = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--trial" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trial = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--trace-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trace_outs.push(std::path::PathBuf::from(v));
+            }
+            "--sample-interval" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trace_cfg.sample_interval = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--trace-events" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trace_cfg.event_capacity = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--list" => list_cells = true,
             "-h" | "--help" => usage(),
             other => figs.push(other.to_owned()),
         }
     }
+
+    if figs.first().map(String::as_str) == Some("trace") {
+        figs.remove(0);
+        let [fig] = figs.as_slice() else { usage() };
+        run_trace(
+            fig, scale, jobs, cache_dir, cell_idx, trial, trace_cfg, trace_outs, list_cells,
+        );
+        return;
+    }
+
     if figs.is_empty() || figs.iter().any(|f| f == "all") {
         figs = (1..=12).map(|i| format!("fig{i}")).collect();
     }
 
     let bench = Bench::new(scale);
-    let opts = SweepOptions { jobs, cache_dir };
+    let opts = SweepOptions {
+        jobs,
+        cache_dir,
+        ..SweepOptions::default()
+    };
     let t0 = std::time::Instant::now();
     let stats = run_sweep(&bench, &figs, &opts);
-    eprintln!(
-        "# {stats}, jobs={jobs}, {:.1}s",
-        t0.elapsed().as_secs_f64()
-    );
-    println!(
-        "# pagesim repro — trials/cell: {}, footprint factor: {:.2}, seed: {}",
-        scale.trials, scale.footprint, scale.seed
-    );
-    for wl in Wl::all() {
-        println!("#   {} footprint: {} pages", wl.label(), bench.footprint(wl));
-    }
-    println!();
+    eprintln!("# {stats} jobs={jobs} total_s={:.1}", t0.elapsed().as_secs_f64());
+    print_header(&bench, scale);
 
     for fig in &figs {
         let t0 = std::time::Instant::now();
-        let body = match fig.as_str() {
-            "fig1" => experiments::fig1(&bench).to_string(),
-            "fig2" => experiments::fig2(&bench).to_string(),
-            "fig3" => experiments::fig3(&bench).to_string(),
-            "fig4" => experiments::fig4(&bench).to_string(),
-            "fig5" => experiments::fig5(&bench).to_string(),
-            "fig6" => experiments::fig6(&bench).to_string(),
-            "fig7" => experiments::fig7(&bench).to_string(),
-            "fig8" => experiments::fig8(&bench).to_string(),
-            "fig9" => experiments::fig9(&bench).to_string(),
-            "fig10" => experiments::fig10(&bench).to_string(),
-            "fig11" => experiments::fig11(&bench).to_string(),
-            "fig12" => experiments::fig12(&bench).to_string(),
-            "faults" => experiments::faults(&bench).to_string(),
-            _ => usage(),
-        };
+        let body = render_fig(&bench, fig);
         println!("{body}");
         println!("# ({fig} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+}
+
+/// The `trace` subcommand: render one figure with telemetry attached to a
+/// single trial, then export the trace.
+#[allow(clippy::too_many_arguments)]
+fn run_trace(
+    fig: &str,
+    scale: Scale,
+    jobs: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    cell_idx: usize,
+    trial: u32,
+    trace_cfg: TraceConfig,
+    mut trace_outs: Vec<std::path::PathBuf>,
+    list_cells: bool,
+) {
+    let cells = experiments::figure_cells(fig);
+    if cells.is_empty() {
+        eprintln!("repro trace: figure '{fig}' has no cell grid");
+        std::process::exit(2);
+    }
+    if list_cells {
+        for (i, q) in cells.iter().enumerate() {
+            println!("{i}\t{}", q.ident());
+        }
+        return;
+    }
+    let Some(query) = cells.get(cell_idx) else {
+        eprintln!(
+            "repro trace: --cell {cell_idx} out of range ({} cells; try --list)",
+            cells.len()
+        );
+        std::process::exit(2);
+    };
+    if trace_outs.is_empty() {
+        trace_outs.push(std::path::PathBuf::from("trace.json"));
+    }
+
+    let bench = Bench::new(scale);
+    let opts = SweepOptions {
+        jobs,
+        cache_dir,
+        trace: Some(TraceRequest {
+            query: query.clone(),
+            trial,
+            config: trace_cfg,
+        }),
+    };
+    let t0 = std::time::Instant::now();
+    let (stats, trace) = run_sweep_traced(&bench, &[fig.to_owned()], &opts);
+    eprintln!("# {stats} jobs={jobs} total_s={:.1}", t0.elapsed().as_secs_f64());
+    let Some(trace) = trace else {
+        eprintln!("repro trace: no trace captured (internal error)");
+        std::process::exit(1);
+    };
+
+    // Same stdout stream as a plain figure run, so traced output can be
+    // diffed line-for-line against golden figures.
+    print_header(&bench, scale);
+    let body = render_fig(&bench, fig);
+    println!("{body}");
+    println!("# ({fig} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+
+    eprintln!(
+        "# trace {} samples={} events={} dropped={}",
+        trace.meta.ident,
+        trace.samples.len(),
+        trace.events.len(),
+        trace.dropped_events,
+    );
+    for out in &trace_outs {
+        let is_jsonl = out.extension().is_some_and(|e| e == "jsonl");
+        let payload = if is_jsonl {
+            trace.to_jsonl()
+        } else {
+            trace.to_chrome_trace()
+        };
+        if let Err(e) = std::fs::write(out, payload) {
+            eprintln!("repro trace: cannot write {}: {e}", out.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# trace written: {} ({})",
+            out.display(),
+            if is_jsonl { "jsonl" } else { "chrome trace_event" }
+        );
     }
 }

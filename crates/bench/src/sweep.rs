@@ -28,17 +28,38 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
+// Wall-clock phase timing for the stderr summary only — never visible to
+// the simulation (this crate is outside pagesim-lint's sim-crate set).
+use std::time::Instant;
 
 use pagesim::experiments::{figure_cells, Bench, CellQuery, CellSpec};
 use pagesim::{RunMetrics, TrialSet};
+use pagesim_trace::{TraceConfig, TraceData};
 
-/// How the sweep runs: worker count and cache placement.
+/// A request to trace exactly one trial during a sweep. The traced trial
+/// bypasses the cache *read* (a hit would skip the simulation and produce
+/// no trace) but still writes its result back, and its metrics flow into
+/// the merged cells exactly like any other trial's — so the figure output
+/// of a traced sweep is byte-identical to an untraced one.
+#[derive(Clone, Debug)]
+pub struct TraceRequest {
+    /// The cell to trace.
+    pub query: CellQuery,
+    /// The trial index within that cell.
+    pub trial: u32,
+    /// Sampler and ring configuration.
+    pub config: TraceConfig,
+}
+
+/// How the sweep runs: worker count, cache placement, optional tracing.
 #[derive(Clone, Debug)]
 pub struct SweepOptions {
     /// Worker threads. `1` executes trials strictly serially.
     pub jobs: usize,
     /// Cell cache directory; `None` disables the cache entirely.
     pub cache_dir: Option<PathBuf>,
+    /// Trace one trial while sweeping (`repro trace`).
+    pub trace: Option<TraceRequest>,
 }
 
 impl Default for SweepOptions {
@@ -46,6 +67,7 @@ impl Default for SweepOptions {
         SweepOptions {
             jobs: default_jobs(),
             cache_dir: None,
+            trace: None,
         }
     }
 }
@@ -68,6 +90,12 @@ pub struct SweepStats {
     pub cache_hits: usize,
     /// Trials simulated (cache disabled, cold, or invalid entry).
     pub cache_misses: usize,
+    /// Wall time spent enumerating and deduplicating cells, in ms.
+    pub plan_ms: u64,
+    /// Wall time spent executing trials (cache reads included), in ms.
+    pub exec_ms: u64,
+    /// Wall time spent merging and installing results, in ms.
+    pub merge_ms: u64,
 }
 
 impl SweepStats {
@@ -82,11 +110,22 @@ impl SweepStats {
 }
 
 impl std::fmt::Display for SweepStats {
+    /// One stable-format summary line, greppable by CI:
+    /// `sweep cells=2 trials=6 hits=0 misses=6 hit_rate=0.000 plan_ms=0 exec_ms=41 merge_ms=0`.
+    /// Tools match on the `key=value` tokens; the key set only grows.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sweep: {} cells / {} trials, cache: {} hits / {} misses",
-            self.cells, self.trials, self.cache_hits, self.cache_misses
+            "sweep cells={} trials={} hits={} misses={} hit_rate={:.3} \
+             plan_ms={} exec_ms={} merge_ms={}",
+            self.cells,
+            self.trials,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.plan_ms,
+            self.exec_ms,
+            self.merge_ms,
         )
     }
 }
@@ -130,6 +169,19 @@ pub fn plan_specs(bench: &Bench, plan: &[CellQuery]) -> Vec<CellSpec> {
 /// installed cells are byte-identical regardless of `jobs`, cache state,
 /// or completion order.
 pub fn run_sweep(bench: &Bench, figs: &[String], opts: &SweepOptions) -> SweepStats {
+    run_sweep_traced(bench, figs, opts).0
+}
+
+/// [`run_sweep`] plus the captured trace, when `opts.trace` asked for one.
+/// The trace is captured even if the traced trial's cell is outside the
+/// figure plan (already resident, or not referenced by `figs`): it then
+/// runs standalone after the sweep.
+pub fn run_sweep_traced(
+    bench: &Bench,
+    figs: &[String],
+    opts: &SweepOptions,
+) -> (SweepStats, Option<TraceData>) {
+    let t0 = Instant::now();
     let plan = plan_cells(bench, figs);
     let specs = plan_specs(bench, &plan);
     let trials = bench.scale().trials as usize;
@@ -138,66 +190,103 @@ pub fn run_sweep(bench: &Bench, figs: &[String], opts: &SweepOptions) -> SweepSt
         trials: specs.len(),
         ..SweepStats::default()
     };
-    if specs.is_empty() {
-        return stats;
-    }
-    if let Some(dir) = &opts.cache_dir {
-        // Failing to create the cache dir downgrades to cache-off rather
-        // than aborting the sweep; the summary's miss count exposes it.
-        let _ = fs::create_dir_all(dir);
-    }
-
-    let hits = AtomicU64::new(0);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, RunMetrics)>();
-    let workers = opts.jobs.clamp(1, specs.len());
-    let mut slots: Vec<Option<RunMetrics>> = vec![None; specs.len()];
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let (specs, cursor, hits) = (&specs, &cursor, &hits);
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                let cached = opts
-                    .cache_dir
-                    .as_deref()
-                    .and_then(|dir| cache_load(dir, bench, spec));
-                let metrics = match cached {
-                    Some(m) => {
-                        hits.fetch_add(1, Ordering::Relaxed);
-                        m
-                    }
-                    None => {
-                        let m = bench.run_trial(&spec.query, spec.trial);
-                        if let Some(dir) = opts.cache_dir.as_deref() {
-                            cache_store(dir, bench, spec, &m, i);
-                        }
-                        m
-                    }
-                };
-                if tx.send((i, metrics)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, metrics) in rx {
-            slots[i] = Some(metrics);
-        }
+    // The spec the trace request names, matched on trial index plus cell
+    // content key (same equality the cache uses, so label differences
+    // that don't change the simulation still match).
+    let traced_idx = opts.trace.as_ref().and_then(|req| {
+        let req_key = (req.query.wl, req.query.system_config().stable_hash());
+        specs.iter().position(|s| {
+            s.trial == req.trial && (s.query.wl, s.query.system_config().stable_hash()) == req_key
+        })
     });
+    stats.plan_ms = t0.elapsed().as_millis() as u64;
 
-    stats.cache_hits = hits.load(Ordering::Relaxed) as usize;
-    stats.cache_misses = stats.trials - stats.cache_hits;
+    let t1 = Instant::now();
+    let trace_slot = std::sync::Mutex::new(None::<TraceData>);
+    if !specs.is_empty() {
+        if let Some(dir) = &opts.cache_dir {
+            // Failing to create the cache dir downgrades to cache-off rather
+            // than aborting the sweep; the summary's miss count exposes it.
+            let _ = fs::create_dir_all(dir);
+        }
 
-    let mut runs = slots.into_iter().map(|s| s.expect("sweep trial missing"));
-    for q in &plan {
-        let set = TrialSet {
-            runs: runs.by_ref().take(trials).collect(),
-        };
-        bench.install_cell(q, set);
+        let hits = AtomicU64::new(0);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RunMetrics)>();
+        let workers = opts.jobs.clamp(1, specs.len());
+        let mut slots: Vec<Option<RunMetrics>> = vec![None; specs.len()];
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (specs, cursor, hits, trace_slot) = (&specs, &cursor, &hits, &trace_slot);
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let traced = traced_idx == Some(i);
+                    // The traced trial must actually simulate: a cache hit
+                    // would produce metrics but no trace.
+                    let cached = if traced {
+                        None
+                    } else {
+                        opts.cache_dir
+                            .as_deref()
+                            .and_then(|dir| cache_load(dir, bench, spec))
+                    };
+                    let metrics = match cached {
+                        Some(m) => {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                            m
+                        }
+                        None => {
+                            let m = if traced {
+                                let req = opts.trace.as_ref().expect("traced_idx implies request");
+                                let (m, data) =
+                                    bench.run_trial_traced(&spec.query, spec.trial, req.config);
+                                *trace_slot.lock().expect("trace slot poisoned") = Some(data);
+                                m
+                            } else {
+                                bench.run_trial(&spec.query, spec.trial)
+                            };
+                            if let Some(dir) = opts.cache_dir.as_deref() {
+                                cache_store(dir, bench, spec, &m, i);
+                            }
+                            m
+                        }
+                    };
+                    if tx.send((i, metrics)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, metrics) in rx {
+                slots[i] = Some(metrics);
+            }
+        });
+
+        stats.cache_hits = hits.load(Ordering::Relaxed) as usize;
+        stats.cache_misses = stats.trials - stats.cache_hits;
+        stats.exec_ms = t1.elapsed().as_millis() as u64;
+
+        let t2 = Instant::now();
+        let mut runs = slots.into_iter().map(|s| s.expect("sweep trial missing"));
+        for q in &plan {
+            let set = TrialSet {
+                runs: runs.by_ref().take(trials).collect(),
+            };
+            bench.install_cell(q, set);
+        }
+        stats.merge_ms = t2.elapsed().as_millis() as u64;
     }
-    stats
+
+    let mut trace = trace_slot.into_inner().expect("trace slot poisoned");
+    if let (Some(req), None) = (&opts.trace, &trace) {
+        // The requested trial was not part of the plan (cell resident or
+        // figure list disjoint): trace it standalone.
+        let (_, data) = bench.run_trial_traced(&req.query, req.trial, req.config);
+        trace = Some(data);
+    }
+    (stats, trace)
 }
 
 /// The cache file for one trial: named by the trial content hash, carrying

@@ -29,6 +29,7 @@ fn opts(dir: &std::path::Path) -> SweepOptions {
     SweepOptions {
         jobs: 2,
         cache_dir: Some(dir.to_path_buf()),
+        trace: None,
     }
 }
 

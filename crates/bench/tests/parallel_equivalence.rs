@@ -46,6 +46,7 @@ fn no_cache(jobs: usize) -> SweepOptions {
     SweepOptions {
         jobs,
         cache_dir: None,
+        trace: None,
     }
 }
 
@@ -142,6 +143,7 @@ fn warm_cache_replay_is_byte_identical() {
     let opts = SweepOptions {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        trace: None,
     };
 
     let cold_bench = tiny_bench();

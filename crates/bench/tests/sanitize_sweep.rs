@@ -19,6 +19,7 @@ fn smoke_sweep_runs_clean_under_sanitizer() {
     let opts = SweepOptions {
         jobs: 2,
         cache_dir: None,
+        trace: None,
     };
     let stats = run_sweep(&bench, &figs, &opts);
     assert!(stats.cells > 0, "sweep planned no cells");

@@ -1,0 +1,63 @@
+//! Tracing must be a pure observer: the trace for a trial is a function of
+//! the trial alone (not of worker count or cache state), and attaching a
+//! tracer must not perturb the simulation it observes.
+
+use pagesim::experiments::{self, Bench, Scale};
+use pagesim_bench::sweep::{run_sweep_traced, SweepOptions, TraceRequest};
+use pagesim_trace::{validate_jsonl, Schema, TraceConfig, TraceData, BUILTIN_SCHEMA};
+
+fn smoke_bench() -> Bench {
+    Bench::new(Scale::smoke())
+}
+
+/// fig1 cell 1 is tpch under default MG-LRU — a cell with real reclaim,
+/// aging and kswapd activity even at smoke scale.
+fn traced_cell() -> TraceRequest {
+    let cells = experiments::figure_cells("fig1");
+    TraceRequest {
+        query: cells[1].clone(),
+        trial: 0,
+        config: TraceConfig::default(),
+    }
+}
+
+fn trace_with_jobs(jobs: usize) -> TraceData {
+    let opts = SweepOptions {
+        jobs,
+        cache_dir: None,
+        trace: Some(traced_cell()),
+    };
+    let (_, trace) = run_sweep_traced(&smoke_bench(), &["fig1".to_owned()], &opts);
+    trace.expect("a trace was requested")
+}
+
+#[test]
+fn trace_is_byte_identical_across_worker_counts() {
+    let a = trace_with_jobs(1);
+    let b = trace_with_jobs(4);
+    assert_eq!(a.to_jsonl(), b.to_jsonl());
+    assert_eq!(a.to_chrome_trace(), b.to_chrome_trace());
+    assert!(a.samples.len() > 1, "sampler produced no series");
+    assert!(!a.events.is_empty(), "ring captured no events");
+}
+
+#[test]
+fn tracing_does_not_perturb_metrics() {
+    let bench = smoke_bench();
+    let req = traced_cell();
+    let untraced = bench.run_trial(&req.query, req.trial);
+    let (traced, _) = bench.run_trial_traced(&req.query, req.trial, req.config);
+    assert_eq!(
+        format!("{untraced:?}"),
+        format!("{traced:?}"),
+        "attaching a tracer changed the simulation"
+    );
+}
+
+#[test]
+fn jsonl_export_satisfies_the_builtin_schema() {
+    let schema = Schema::parse(BUILTIN_SCHEMA).expect("builtin schema parses");
+    let jsonl = trace_with_jobs(2).to_jsonl();
+    let errors = validate_jsonl(&schema, &jsonl);
+    assert!(errors.is_empty(), "schema violations: {errors:?}");
+}

@@ -322,6 +322,41 @@ impl Bench {
         }
     }
 
+    /// Runs one trial with telemetry attached. The returned metrics are
+    /// identical to [`Bench::run_trial`] on the same `(query, trial)`; the
+    /// trace carries the trial's content-addressed identity
+    /// ([`Bench::trial_content_hash`]) so it can always be matched to the
+    /// cached metrics it was captured alongside.
+    #[cfg(feature = "trace")]
+    pub fn run_trial_traced(
+        &self,
+        query: &CellQuery,
+        trial: u32,
+        trace_cfg: pagesim_trace::TraceConfig,
+    ) -> (RunMetrics, pagesim_trace::TraceData) {
+        let config = query.system_config();
+        let exp = Experiment::new(config.clone());
+        let seed = trial_seed(self.scale.seed, trial);
+        let (metrics, tracer) = match query.wl {
+            Wl::Tpch => exp.run_traced(&self.tpch, seed, trace_cfg),
+            Wl::PageRank => exp.run_traced(&self.pagerank, seed, trace_cfg),
+            Wl::YcsbA => exp.run_traced(&self.ycsb_a, seed, trace_cfg),
+            Wl::YcsbB => exp.run_traced(&self.ycsb_b, seed, trace_cfg),
+            Wl::YcsbC => exp.run_traced(&self.ycsb_c, seed, trace_cfg),
+        };
+        let meta = pagesim_trace::TraceMeta {
+            ident: format!("{} trial {}", query.ident(), trial),
+            content_hash: self.trial_content_hash(query, trial),
+            trial,
+            seed,
+            cores: config.cores as u32,
+            sample_interval_ns: tracer.config().sample_interval,
+            policy: query.policy.label().to_owned(),
+            workload: query.wl.label().to_owned(),
+        };
+        (metrics, tracer.into_data(meta))
+    }
+
     /// Installs an externally-computed cell (from a sweep or a cache) so
     /// figure drivers find it instead of recomputing.
     pub fn install_cell(&self, query: &CellQuery, set: TrialSet) {

@@ -64,11 +64,32 @@ use pagesim_mem::{
 };
 use pagesim_policy::{ClockLru, MgLru, Policy};
 use pagesim_swap::{SsdDevice, SwapDevice, SwapSlot, ZramDevice};
+#[cfg(feature = "trace")]
+use pagesim_trace::{CoreOcc, Sample, ThreadKind, TraceEvent, Tracer};
 use pagesim_workloads::{AccessStream, Op, ReqClass, Workload};
 
 use crate::config::{SwapChoice, SystemConfig};
 use crate::mem_state::MemState;
 use crate::metrics::RunMetrics;
+
+/// Records a trace event when a tracer is attached and enabled. Expands
+/// to nothing without the `trace` feature, so release figure builds carry
+/// no tracing code at all; with the feature on but no tracer attached (or
+/// a disabled one) the cost is one branch.
+#[cfg(feature = "trace")]
+macro_rules! trace_event {
+    ($self:expr, $t_ns:expr, $ev:expr) => {
+        if let Some(tr) = $self.tracer.as_deref_mut() {
+            if tr.is_enabled() {
+                tr.event($t_ns, $ev);
+            }
+        }
+    };
+}
+#[cfg(not(feature = "trace"))]
+macro_rules! trace_event {
+    ($self:expr, $t_ns:expr, $ev:expr) => {};
+}
 
 /// Owner key recorded for balloon-held frames (outside every address
 /// space; the arena never grows anywhere near `u32::MAX` pages).
@@ -228,6 +249,11 @@ pub struct Kernel {
     /// Frames held by each active pressure step's balloon.
     balloon: Vec<Vec<FrameId>>,
     metrics: RunMetrics,
+    /// Telemetry collector, attached via [`Kernel::set_tracer`]. Boxed so
+    /// the untraced kernel pays one pointer of space; `None` (the
+    /// default) short-circuits every hook.
+    #[cfg(feature = "trace")]
+    tracer: Option<Box<Tracer>>,
 }
 
 impl Kernel {
@@ -359,7 +385,17 @@ impl Kernel {
             io_pinned: BTreeSet::new(),
             balloon: vec![Vec::new(); pressure.len()],
             metrics,
+            #[cfg(feature = "trace")]
+            tracer: None,
         }
+    }
+
+    /// Attaches a telemetry collector. Tracing hooks never feed back into
+    /// the simulation: a traced run produces the same `RunMetrics` as an
+    /// untraced one.
+    #[cfg(feature = "trace")]
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
     }
 
     /// Runs the workload to completion and returns the collected metrics.
@@ -368,6 +404,21 @@ impl Kernel {
     /// `config.max_sim_time`, malformed request streams) are recorded in
     /// [`RunMetrics::error`] instead of panicking.
     pub fn run(mut self) -> RunMetrics {
+        self.run_loop();
+        self.finalize()
+    }
+
+    /// Runs the workload like [`run`](Kernel::run) and additionally hands
+    /// back the attached tracer (if any) with its collected samples and
+    /// events.
+    #[cfg(feature = "trace")]
+    pub fn run_traced(mut self) -> (RunMetrics, Option<Box<Tracer>>) {
+        self.run_loop();
+        let tracer = self.tracer.take();
+        (self.finalize(), tracer)
+    }
+
+    fn run_loop(&mut self) {
         loop {
             while let Some((core, tid)) = self.sched.try_dispatch() {
                 let (used, outcome) = self.run_slice(tid);
@@ -394,13 +445,57 @@ impl Kernel {
                 self.finish_time = self.finish_time.max(self.now);
                 break;
             }
+            // Emit any sample boundaries due before this event: simulation
+            // state only changes at events, so the pre-event snapshot is
+            // exactly the state that held at each boundary.
+            #[cfg(feature = "trace")]
+            self.pump_samples(t.as_ns());
             self.now = t;
             self.handle_event(ev);
             if self.app_live == 0 {
                 break;
             }
         }
-        self.finalize()
+    }
+
+    /// Drains sample boundaries at or before `upto_ns`, snapshotting the
+    /// current gauges for each.
+    #[cfg(feature = "trace")]
+    fn pump_samples(&mut self, upto_ns: u64) {
+        while let Some(t_ns) = self
+            .tracer
+            .as_ref()
+            .and_then(|tr| tr.next_boundary(upto_ns))
+        {
+            let sample = self.snapshot_sample(t_ns);
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.push_sample(sample);
+            }
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn snapshot_sample(&self, t_ns: u64) -> Sample {
+        let cores = (0..self.cfg.cores)
+            .map(|core| match self.sched.running_on(core) {
+                None => CoreOcc::Idle,
+                Some(tid) if tid == self.kswapd => CoreOcc::Kswapd,
+                Some(tid) if tid == self.aging => CoreOcc::Aging,
+                Some(tid) => CoreOcc::App(tid.0),
+            })
+            .collect();
+        Sample {
+            t_ns,
+            major_faults: self.metrics.major_faults,
+            refaults: self.tracer.as_ref().map(|tr| tr.refaults()).unwrap_or(0),
+            evictions: self.metrics.evictions,
+            direct_reclaims: self.metrics.direct_reclaims,
+            kswapd_batches: self.metrics.kswapd_batches,
+            free_frames: self.mem.phys.free_frames() as u64,
+            writeback_frames: self.mem.phys.writeback_frames() as u64,
+            gens: self.policy.occupancy(),
+            cores,
+        }
     }
 
     fn finalize(mut self) -> RunMetrics {
@@ -424,6 +519,25 @@ impl Kernel {
                 used,
                 decision,
             } => {
+                #[cfg(feature = "trace")]
+                if used > 0 {
+                    trace_event!(
+                        self,
+                        self.now.as_ns() - used,
+                        TraceEvent::Slice {
+                            core: core as u32,
+                            tid: tid.0,
+                            kind: if tid == self.kswapd {
+                                ThreadKind::Kswapd
+                            } else if tid == self.aging {
+                                ThreadKind::Aging
+                            } else {
+                                ThreadKind::App
+                            },
+                            dur_ns: used,
+                        }
+                    );
+                }
                 self.sched.slice_done(core, tid, decision, used);
                 if decision == DispatchDecision::Finished
                     && matches!(self.bodies[tid.0 as usize], ThreadBody::App { .. })
@@ -452,6 +566,14 @@ impl Kernel {
                     return;
                 }
                 self.complete_major_fault(tid, key, frame, slot, write, fd);
+                trace_event!(
+                    self,
+                    self.now.as_ns(),
+                    TraceEvent::FaultEnd {
+                        tid: tid.0,
+                        key: key as u64,
+                    }
+                );
                 self.sched.make_runnable(tid);
                 // Release the page lock: threads that faulted on the same
                 // page retry their access and hit.
@@ -775,6 +897,14 @@ impl Kernel {
                 self.complete_major_fault(tid, key, frame, slot, write, fd);
                 TouchResult::Hit
             } else {
+                trace_event!(
+                    self,
+                    (self.now + *used).as_ns(),
+                    TraceEvent::FaultBegin {
+                        tid: tid.0,
+                        key: key as u64,
+                    }
+                );
                 self.inflight.insert(key, Vec::new());
                 self.io_pinned.insert(frame);
                 self.events.push(
@@ -813,6 +943,11 @@ impl Kernel {
         used: &mut Nanos,
     ) -> TouchResult {
         self.metrics.io_errors += 1;
+        trace_event!(
+            self,
+            (self.now + *used).as_ns(),
+            TraceEvent::FaultInjected { write: false }
+        );
         // The fault did not complete: hand the frame back.
         self.frame_owner[frame as usize] = None;
         self.mem.phys.free(frame);
@@ -888,6 +1023,14 @@ impl Kernel {
             let refault = self.mem.evicted_before[key as usize];
             self.policy.on_page_resident(key, refault, &mut self.mem);
         }
+        // `evicted_before` is monotonic, so reading it again here gives the
+        // same `refault` both branches above saw.
+        #[cfg(feature = "trace")]
+        if self.mem.evicted_before[key as usize] {
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.note_refault();
+            }
+        }
         self.metrics.accesses += 1;
     }
 
@@ -907,6 +1050,16 @@ impl Kernel {
             *used += out.cpu_ns;
             let vt = self.now + *used;
             *used += self.apply_evictions(&out.victims, vt);
+            trace_event!(
+                self,
+                (self.now + *used).as_ns(),
+                TraceEvent::ReclaimBatch {
+                    direct: true,
+                    victims: out.victims.len() as u32,
+                    scanned: out.scanned,
+                    cpu_ns: out.cpu_ns,
+                }
+            );
             self.maybe_wake_aging();
             if let Some(f) = self.mem.phys.allocate_from_reserve(key) {
                 self.maybe_wake_kswapd();
@@ -1001,6 +1154,11 @@ impl Kernel {
     fn abort_eviction(&mut self, key: PageKey) {
         self.metrics.io_errors += 1;
         self.metrics.eviction_aborts += 1;
+        trace_event!(
+            self,
+            self.now.as_ns(),
+            TraceEvent::FaultInjected { write: true }
+        );
         self.policy.on_page_resident(key, false, &mut self.mem);
     }
 
@@ -1041,6 +1199,11 @@ impl Kernel {
             return; // nothing killable owns memory; keep stalling
         };
         self.metrics.oom_kills += 1;
+        trace_event!(
+            self,
+            self.now.as_ns(),
+            TraceEvent::OomKill { victim: v as u32 }
+        );
         self.kill_thread(ThreadId(v as u32));
     }
 
@@ -1126,6 +1289,13 @@ impl Kernel {
             // queue is deep, or swap-out storms starve demand reads.
             if self.swap.backlog(self.now + used) > self.cfg.writeback_throttle_ns {
                 self.metrics.writeback_throttles += 1;
+                trace_event!(
+                    self,
+                    (self.now + used).as_ns(),
+                    TraceEvent::Throttle {
+                        backlog_ns: self.swap.backlog(self.now + used),
+                    }
+                );
                 self.kswapd_asleep = true;
                 if !self.kswapd_retry_pending {
                     self.kswapd_retry_pending = true;
@@ -1139,6 +1309,16 @@ impl Kernel {
             let vt = self.now + used;
             used += self.apply_evictions(&out.victims, vt);
             self.metrics.kswapd_batches += 1;
+            trace_event!(
+                self,
+                (self.now + used).as_ns(),
+                TraceEvent::ReclaimBatch {
+                    direct: false,
+                    victims: out.victims.len() as u32,
+                    scanned: out.scanned,
+                    cpu_ns: out.cpu_ns,
+                }
+            );
             self.maybe_wake_aging();
             if out.victims.is_empty() {
                 // No progress possible right now (write-backs in flight or
@@ -1166,6 +1346,11 @@ impl Kernel {
             .policy
             .background_work(self.sched.quantum(), &mut self.mem);
         self.metrics.aging_runs += 1;
+        trace_event!(
+            self,
+            self.now.as_ns(),
+            TraceEvent::AgingPass { cpu_ns: bg.cpu_ns }
+        );
         if self.policy.wants_background(&self.mem) {
             (bg.cpu_ns, SliceOutcome::Preempted)
         } else {

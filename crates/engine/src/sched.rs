@@ -260,6 +260,20 @@ impl Scheduler {
         !self.app_queue.is_empty() || !self.kernel_queue.is_empty()
     }
 
+    /// The thread currently running on `core`, if any. Used by telemetry
+    /// to snapshot per-core occupancy at sample boundaries.
+    pub fn running_on(&self, core: CoreId) -> Option<ThreadId> {
+        self.threads
+            .iter()
+            .position(|t| t.state == ThreadState::Running(core))
+            .map(|idx| ThreadId(idx as u32))
+    }
+
+    /// The class `tid` was spawned with.
+    pub fn class_of(&self, tid: ThreadId) -> ThreadClass {
+        self.threads[tid.0 as usize].class
+    }
+
     /// Aggregate counters.
     pub fn stats(&self) -> SchedStats {
         self.stats
@@ -392,6 +406,26 @@ mod tests {
         assert!(s.try_dispatch().is_some());
         assert!(s.try_dispatch().is_none());
         assert!(s.has_runnable());
+    }
+
+    #[test]
+    fn running_on_tracks_core_occupancy() {
+        let mut s = sched2();
+        let a = s.spawn(ThreadClass::App);
+        let k = s.spawn(ThreadClass::Kernel);
+        assert_eq!(s.running_on(0), None);
+        assert_eq!(s.running_on(1), None);
+        s.make_runnable(a);
+        s.make_runnable(k);
+        let (c1, t1) = s.try_dispatch().unwrap();
+        let (c2, t2) = s.try_dispatch().unwrap();
+        assert_eq!(s.running_on(c1), Some(t1));
+        assert_eq!(s.running_on(c2), Some(t2));
+        s.slice_done(c1, t1, DispatchDecision::Blocked, 10);
+        assert_eq!(s.running_on(c1), None);
+        assert_eq!(s.running_on(c2), Some(t2));
+        assert_eq!(s.class_of(a), ThreadClass::App);
+        assert_eq!(s.class_of(k), ThreadClass::Kernel);
     }
 
     #[test]

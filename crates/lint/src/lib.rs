@@ -135,6 +135,7 @@ pub const SIM_CRATES: &[&str] = &[
     "policy",
     "stats",
     "swap",
+    "trace",
     "workloads",
 ];
 

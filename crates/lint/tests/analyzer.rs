@@ -67,6 +67,23 @@ fn l2_flags_wall_clock_and_ambient_entropy() {
 }
 
 #[test]
+fn l2_would_catch_a_wall_clock_sampler() {
+    // The interval sampler in crates/trace must advance on simulated time
+    // only; this fixture shows the Instant-based variant is caught.
+    assert_eq!(
+        lint_fixture("l2_sampler_bad.rs", SIM),
+        vec![(Rule::WallClock, 2), (Rule::WallClock, 5)]
+    );
+}
+
+#[test]
+fn trace_crate_carries_the_sim_rule_set() {
+    let rules = rules_for("trace", "crates/trace/src/tracer.rs");
+    assert!(rules.hash_iter && rules.wall_clock && rules.thread_spawn);
+    assert!(!rules.hot_unwrap);
+}
+
+#[test]
 fn l2_accepts_sim_time_and_seeded_mixing() {
     assert_eq!(lint_fixture("l2_good.rs", SIM), vec![]);
 }

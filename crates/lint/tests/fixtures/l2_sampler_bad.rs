@@ -1,0 +1,7 @@
+// Fixture: a trace sampler keyed off the wall clock instead of sim time.
+use std::time::Instant;
+
+fn sample_tick(series: &mut Vec<(u128, u64)>, faults: u64) {
+    let now = Instant::now();
+    series.push((now.elapsed().as_nanos(), faults));
+}

@@ -194,6 +194,13 @@ impl Policy for ClockLru {
         self.stats
     }
 
+    fn occupancy(&self) -> Vec<(u64, u64)> {
+        vec![
+            (0, self.inactive_len() as u64),
+            (1, self.active_len() as u64),
+        ]
+    }
+
     #[cfg(feature = "sanitize")]
     fn check_invariants(&self) -> Option<u64> {
         let mut listed = vec![false; self.nodes.len()];
@@ -262,6 +269,12 @@ mod tests {
         let (clock, _mem) = setup(8, &[0, 1, 2]);
         assert_eq!(clock.active_len(), 3);
         assert_eq!(clock.inactive_len(), 0);
+    }
+
+    #[test]
+    fn occupancy_reports_both_lists() {
+        let (clock, _mem) = setup(8, &[0, 1, 2]);
+        assert_eq!(clock.occupancy(), vec![(0, 0), (1, 3)]);
     }
 
     #[test]

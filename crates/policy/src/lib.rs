@@ -131,6 +131,15 @@ pub trait Policy {
     /// Counters.
     fn stats(&self) -> PolicyStats;
 
+    /// Instantaneous list occupancy as `(label, pages)` pairs, oldest
+    /// list first, for telemetry sampling. MG-LRU reports one entry per
+    /// live generation labeled by its sequence number; Clock reports
+    /// `(0, inactive)` and `(1, active)`. The default is empty (no
+    /// occupancy story to tell).
+    fn occupancy(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
+
     /// DEBUG_VM-style structural self-check (the `sanitize` feature).
     /// Returns the number of pages the policy currently tracks so the
     /// kernel can cross-check it against resident PTEs, or `None` when the

@@ -692,6 +692,13 @@ impl Policy for MgLru {
         self.stats
     }
 
+    fn occupancy(&self) -> Vec<(u64, u64)> {
+        self.gens
+            .iter()
+            .map(|g| (g.seq, g.total() as u64))
+            .collect()
+    }
+
     #[cfg(feature = "sanitize")]
     fn check_invariants(&self) -> Option<u64> {
         let min_seq = self.min_seq();
@@ -797,6 +804,16 @@ mod tests {
         assert_eq!(lru.nr_gens(), MIN_NR_GENS);
         assert_eq!(lru.min_seq(), 0);
         assert_eq!(lru.max_seq(), 1);
+    }
+
+    #[test]
+    fn occupancy_labels_generations_by_seq() {
+        let (lru, _) = setup(64, 8, MgLruConfig::kernel_default());
+        let occ = lru.occupancy();
+        assert_eq!(occ.len(), lru.nr_gens());
+        assert_eq!(occ.iter().map(|&(_, n)| n).sum::<u64>(), 8);
+        // Oldest first, sequence numbers ascending.
+        assert!(occ.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -125,6 +125,42 @@ impl Moments {
             self.max
         }
     }
+
+    /// The accumulator's full state as `(n, mean, m2, min, max)`.
+    ///
+    /// This is everything [`Moments`] stores, so
+    /// [`from_parts`](Moments::from_parts) reconstructs a bit-identical
+    /// accumulator — serializers (the cell cache, trace exporters) go
+    /// through this rather than reaching into fields.
+    pub fn to_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`to_parts`](Moments::to_parts) output.
+    ///
+    /// Returns `None` for states no sequence of [`add`](Moments::add) /
+    /// [`merge`](Moments::merge) calls can produce: any NaN field, a
+    /// negative centered second moment, or (for non-empty states) an
+    /// inverted min/max pair. An `n` of 0 reconstructs the empty
+    /// accumulator regardless of the float fields.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Option<Moments> {
+        if n == 0 {
+            return Some(Moments::new());
+        }
+        if mean.is_nan() || m2.is_nan() || min.is_nan() || max.is_nan() {
+            return None;
+        }
+        if m2 < 0.0 || min > max {
+            return None;
+        }
+        Some(Moments {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        })
+    }
 }
 
 impl Default for Moments {
@@ -170,6 +206,25 @@ mod tests {
         assert_eq!(m.count(), whole.count());
         assert!((m.mean() - whole.mean()).abs() < 1e-9);
         assert!((m.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parts_roundtrip_and_rejection() {
+        let mut m = Moments::new();
+        for x in [2.0, -7.5, 11.0, 0.25] {
+            m.add(x);
+        }
+        let (n, mean, m2, min, max) = m.to_parts();
+        assert_eq!(Moments::from_parts(n, mean, m2, min, max), Some(m));
+        // Empty state reconstructs regardless of the float fields.
+        assert_eq!(
+            Moments::from_parts(0, f64::NAN, -1.0, 5.0, -5.0),
+            Some(Moments::new())
+        );
+        // Unreachable states are rejected.
+        assert!(Moments::from_parts(3, f64::NAN, 0.0, 0.0, 1.0).is_none());
+        assert!(Moments::from_parts(3, 0.5, -1e-9, 0.0, 1.0).is_none());
+        assert!(Moments::from_parts(3, 0.5, 0.0, 1.0, 0.0).is_none());
     }
 
     #[test]

@@ -184,6 +184,44 @@ proptest! {
         prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
     }
 
+    /// `to_parts` → `from_parts` reconstructs any reachable histogram
+    /// exactly: same counts, same summary statistics, same percentiles.
+    #[test]
+    fn histogram_parts_roundtrip(
+        xs in prop::collection::vec(0u64..10_000_000_000, 0..300),
+    ) {
+        let h = hist_of(&xs);
+        let (sparse, sum, min, max) = h.to_parts();
+        let back = LatencyHistogram::from_parts(&sparse, sum, min, max).unwrap();
+        prop_assert_eq!(back.count(), h.count());
+        prop_assert_eq!(back.min(), h.min());
+        prop_assert_eq!(back.max(), h.max());
+        prop_assert_eq!(back.mean().to_bits(), h.mean().to_bits());
+        prop_assert_eq!(back.to_parts(), h.to_parts());
+        if h.count() > 0 {
+            for p in [0.0, 50.0, 99.0, 100.0] {
+                prop_assert_eq!(back.value_at_percentile(p), h.value_at_percentile(p));
+            }
+        }
+    }
+
+    /// `to_parts` → `from_parts` reconstructs any reachable accumulator
+    /// bit-for-bit, and `from_parts` accepts every reachable state.
+    #[test]
+    fn moments_parts_roundtrip(
+        xs in prop::collection::vec(-1e9f64..1e9, 0..200),
+    ) {
+        let m = moments_of(&xs);
+        let (n, mean, m2, min, max) = m.to_parts();
+        let back = pagesim_stats::Moments::from_parts(n, mean, m2, min, max)
+            .expect("reachable state must be accepted");
+        prop_assert_eq!(back.count(), m.count());
+        prop_assert_eq!(back.mean().to_bits(), m.mean().to_bits());
+        prop_assert_eq!(back.variance().to_bits(), m.variance().to_bits());
+        prop_assert_eq!(back.min().to_bits(), m.min().to_bits());
+        prop_assert_eq!(back.max().to_bits(), m.max().to_bits());
+    }
+
     /// Any partition of a sample merges to the single-pass statistics up
     /// to floating-point rounding, and min/max/count exactly.
     #[test]
@@ -206,5 +244,36 @@ proptest! {
         prop_assert!((merged.mean() - single.mean()).abs() <= 1e-9 * scale);
         let vscale = 1.0 + single.variance().abs();
         prop_assert!((merged.variance() - single.variance()).abs() <= 1e-6 * vscale);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Percentile edge cases that random sampling rarely pins down exactly.
+
+#[test]
+fn histogram_single_bucket_percentiles_are_exact() {
+    // Every sample in one bucket: min == max clamps the representative
+    // value, so every percentile is the recorded value exactly.
+    let mut h = LatencyHistogram::new();
+    for _ in 0..1000 {
+        h.record(123_457);
+    }
+    for p in [0.0, 0.1, 50.0, 99.99, 100.0] {
+        assert_eq!(h.value_at_percentile(p), 123_457, "p{p}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "empty")]
+fn histogram_percentile_of_empty_rejected() {
+    LatencyHistogram::from_parts(&[], 0, 0, 0)
+        .unwrap()
+        .value_at_percentile(50.0);
+}
+
+#[test]
+fn percentile_of_singleton_is_the_element() {
+    for p in [0.0, 37.5, 100.0] {
+        assert_eq!(percentile(&[42.0], p), 42.0, "p{p}");
     }
 }

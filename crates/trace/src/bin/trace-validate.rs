@@ -1,0 +1,58 @@
+//! Validates a pagesim trace JSONL file against a schema.
+//!
+//! ```text
+//! trace-validate <trace.jsonl> [schema]
+//! ```
+//!
+//! With no schema argument the built-in `schema/trace-jsonl.schema` is
+//! used. Exit status: 0 valid, 1 validation errors, 2 usage/IO errors.
+
+use std::process::ExitCode;
+
+use pagesim_trace::{validate_jsonl, Schema, BUILTIN_SCHEMA};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, schema_text) = match args.as_slice() {
+        [trace] => (trace.clone(), BUILTIN_SCHEMA.to_owned()),
+        [trace, schema_path] => match std::fs::read_to_string(schema_path) {
+            Ok(text) => (trace.clone(), text),
+            Err(e) => {
+                eprintln!("trace-validate: cannot read schema {schema_path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: trace-validate <trace.jsonl> [schema]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let schema = match Schema::parse(&schema_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace-validate: bad schema: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let jsonl = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace-validate: cannot read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let errors = validate_jsonl(&schema, &jsonl);
+    if errors.is_empty() {
+        let lines = jsonl.lines().filter(|l| !l.trim().is_empty()).count();
+        println!("{trace_path}: valid ({lines} records)");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{trace_path}: {e}");
+        }
+        eprintln!("{trace_path}: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
