@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! repro [--scale smoke|default|paper] [--seed N] [--jobs N]
-//!       [--cache-dir DIR | --no-cache] [fig1 fig2 ... | faults | all]
+//!       [--cache-dir DIR | --no-cache]
+//!       [--journal FILE] [--resume FILE] [--max-attempts N]
+//!       [--trial-budget NS] [--chaos SPEC]
+//!       [fig1 fig2 ... | faults | all]
 //! repro trace <fig> [--cell N] [--trial N] [--trace-out FILE]...
 //!       [--sample-interval NS] [--trace-events N] [--list]
 //! ```
@@ -23,23 +26,55 @@
 //! each `--trace-out` path: `.jsonl` suffixes get JSON Lines (validated by
 //! `trace-validate`), anything else gets Chrome `trace_event` JSON for
 //! Perfetto / `chrome://tracing`. Default: `trace.json`.
+//!
+//! ## Fault tolerance
+//!
+//! Every trial runs isolated: a panic costs one attempt (retried up to
+//! `--max-attempts`, default 3), not the run. Progress is checkpointed to
+//! an append-only JSONL journal (default: `<cache-dir>/run-journal.jsonl`;
+//! `--journal` to relocate) and `--resume FILE` continues an interrupted
+//! run from it, producing byte-identical figure output. Cache entries are
+//! checksummed; a corrupt entry is quarantined (renamed `*.quarantine`)
+//! and recomputed, never parsed. Cells that still fail after retries
+//! become explicit `# HOLE` comment lines in place of the affected
+//! figures, a machine-readable `{"pagesim_failure_report":...}` line on
+//! stderr, and a nonzero exit.
+//!
+//! Exit codes: 0 success, 2 usage, 3 completed with failed cells,
+//! 4 sweep aborted before merging (chaos `abort-after`).
+//!
+//! `--chaos SPEC` injects seeded harness faults (worker panics, cache
+//! corruption, forced-slow trials, worker kills, a hard abort) to exercise
+//! all of the above; see `ChaosPlan::parse` for the spec grammar.
 
 use pagesim::experiments::{self, Bench, Scale, Wl};
+use pagesim::report;
 use pagesim_bench::sweep::{
-    default_jobs, run_sweep, run_sweep_traced, SweepOptions, TraceRequest,
+    default_jobs, journal::json_escape, run_sweep_resilient, run_sweep_traced, ChaosPlan,
+    SweepOptions, SweepOutcome, TraceRequest,
 };
 use pagesim_trace::TraceConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale smoke|default|paper] [--seed N] [--jobs N]\n\
-         \x20            [--cache-dir DIR | --no-cache] [fig1..fig12 | faults | all]\n\
+         \x20            [--cache-dir DIR | --no-cache] [--journal FILE]\n\
+         \x20            [--resume FILE] [--max-attempts N] [--trial-budget NS]\n\
+         \x20            [--chaos SPEC] [fig1..fig12 | faults | all]\n\
          \x20      repro trace <fig> [--cell N] [--trial N] [--trace-out FILE]...\n\
          \x20            [--sample-interval NS] [--trace-events N] [--list]\n\
          \n\
          --jobs N            sweep worker threads (default: all cores)\n\
          --cache-dir D       cell cache directory (default: .pagesim-cache)\n\
          --no-cache          disable the on-disk cell cache\n\
+         --journal F         run journal path (default: <cache-dir>/run-journal.jsonl)\n\
+         --resume F          resume from journal F, skipping trials it records\n\
+         \x20                    as done (still verified against the cache)\n\
+         --max-attempts N    attempts per trial before recording a failure (default 3)\n\
+         --trial-budget NS   per-trial simulated-time budget; exceeding it is a\n\
+         \x20                    timeout failure (deterministic, host-independent)\n\
+         --chaos SPEC        inject seeded harness faults, e.g.\n\
+         \x20                    seed=7,panic=2,corrupt=1,abort-after=40\n\
          \n\
          trace subcommand:\n\
          --cell N            cell index within the figure grid (default 0; see --list)\n\
@@ -102,6 +137,11 @@ fn main() {
     let mut figs: Vec<String> = Vec::new();
     let mut jobs = default_jobs();
     let mut cache_dir = Some(std::path::PathBuf::from(".pagesim-cache"));
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut max_attempts = 3u32;
+    let mut trial_budget: Option<u64> = None;
+    let mut chaos: Option<ChaosPlan> = None;
     let mut trace_outs: Vec<std::path::PathBuf> = Vec::new();
     let mut cell_idx = 0usize;
     let mut trial = 0u32;
@@ -139,6 +179,30 @@ fn main() {
                 cache_dir = Some(std::path::PathBuf::from(v));
             }
             "--no-cache" => cache_dir = None,
+            "--journal" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                journal = Some(std::path::PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                journal = Some(std::path::PathBuf::from(v));
+                resume = true;
+            }
+            "--max-attempts" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                max_attempts = v.parse().unwrap_or_else(|_| usage());
+                if max_attempts == 0 {
+                    usage();
+                }
+            }
+            "--trial-budget" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                trial_budget = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--chaos" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                chaos = Some(ChaosPlan::parse(&v).unwrap_or_else(|| usage()));
+            }
             "--cell" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 cell_idx = v.parse().unwrap_or_else(|_| usage());
@@ -178,23 +242,110 @@ fn main() {
         figs = (1..=12).map(|i| format!("fig{i}")).collect();
     }
 
+    // Journalling defaults on whenever the cache does: the journal is the
+    // checkpoint `--resume` needs, and it lives next to the cache entries.
+    if journal.is_none() {
+        journal = cache_dir.as_ref().map(|d| d.join("run-journal.jsonl"));
+    }
+
     let bench = Bench::new(scale);
     let opts = SweepOptions {
         jobs,
         cache_dir,
+        journal,
+        resume,
+        max_attempts,
+        trial_budget,
+        chaos,
         ..SweepOptions::default()
     };
     let t0 = std::time::Instant::now();
-    let stats = run_sweep(&bench, &figs, &opts);
+    let outcome = run_sweep_resilient(&bench, &figs, &opts);
+    let stats = outcome.stats;
     eprintln!("# {stats} jobs={jobs} total_s={:.1}", t0.elapsed().as_secs_f64());
+
+    if outcome.aborted {
+        eprintln!("# sweep aborted before merging; journal records partial progress (--resume to continue)");
+        print_failure_report(&outcome);
+        std::process::exit(4);
+    }
+
     print_header(&bench, scale);
+
+    // Content keys of every cell that could not be completed: figures
+    // referencing one render as explicit holes instead of panicking (or
+    // silently recomputing the cell the sweep just proved uncomputable).
+    let failed_keys: std::collections::BTreeMap<(Wl, u64), &pagesim::CellFailure> = outcome
+        .failures
+        .iter()
+        .map(|f| ((f.wl, f.config_hash), f))
+        .collect();
+    if !failed_keys.is_empty() {
+        println!("{}\n", report::incomplete_banner(failed_keys.len()));
+    }
 
     for fig in &figs {
         let t0 = std::time::Instant::now();
-        let body = render_fig(&bench, fig);
-        println!("{body}");
+        let holes: Vec<&pagesim::CellFailure> = experiments::figure_cells(fig)
+            .iter()
+            .filter_map(|q| failed_keys.get(&q.content_key()).copied())
+            .collect();
+        if holes.is_empty() {
+            let body = render_fig(&bench, fig);
+            println!("{body}");
+        } else {
+            for f in &holes {
+                println!("{}", report::hole_line(fig, &f.ident, &f.kind.detail()));
+            }
+            println!("# ({fig} skipped: {} missing cell(s))", holes.len());
+        }
         println!("# ({fig} took {:.1}s)\n", t0.elapsed().as_secs_f64());
     }
+
+    if !outcome.failures.is_empty() || !outcome.degraded.is_empty() || stats.quarantined > 0 {
+        print_failure_report(&outcome);
+    }
+    if !outcome.failures.is_empty() {
+        std::process::exit(3);
+    }
+}
+
+/// One machine-readable stderr line summarizing everything that went wrong
+/// (or ran impaired): consumed by CI and by anyone scripting `repro`.
+fn print_failure_report(outcome: &SweepOutcome) {
+    let failures: Vec<String> = outcome
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"ident\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\",\"attempts\":{}}}",
+                json_escape(&f.ident),
+                f.kind.label(),
+                json_escape(&f.kind.detail()),
+                f.attempts
+            )
+        })
+        .collect();
+    let degraded: Vec<String> = outcome
+        .degraded
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"ident\":\"{}\",\"error\":\"{}\",\"trials\":{}}}",
+                json_escape(&d.ident),
+                json_escape(&d.error),
+                d.trials
+            )
+        })
+        .collect();
+    eprintln!(
+        "{{\"pagesim_failure_report\":{{\"aborted\":{},\"quarantined\":{},\
+         \"failures\":[{}],\"degraded\":[{}]}}}}",
+        outcome.aborted,
+        outcome.stats.quarantined,
+        failures.join(","),
+        degraded.join(",")
+    );
 }
 
 /// The `trace` subcommand: render one figure with telemetry attached to a
@@ -242,6 +393,7 @@ fn run_trace(
             trial,
             config: trace_cfg,
         }),
+        ..SweepOptions::default()
     };
     let t0 = std::time::Instant::now();
     let (stats, trace) = run_sweep_traced(&bench, &[fig.to_owned()], &opts);

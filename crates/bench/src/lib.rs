@@ -15,13 +15,18 @@
 //!   `repro`'s `--jobs`/`--cache-dir`/`--no-cache` flags: it enumerates
 //!   figure cells, runs trials on a worker pool with a content-addressed
 //!   on-disk cache, and installs byte-identical results regardless of
-//!   worker count.
+//!   worker count. Its fault-tolerance layer (per-trial panic isolation,
+//!   retries, checksummed cache with quarantine, JSONL run journal with
+//!   `--resume`, seeded chaos injection) is behind
+//!   [`sweep::run_sweep_resilient`].
 
 
 pub mod sweep;
 
 pub use pagesim::experiments::Scale;
-pub use sweep::{run_sweep, SweepOptions, SweepStats};
+pub use sweep::{
+    run_sweep, run_sweep_resilient, ChaosPlan, SweepOptions, SweepOutcome, SweepStats,
+};
 
 #[cfg(test)]
 mod tests {

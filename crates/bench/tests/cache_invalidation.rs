@@ -30,6 +30,7 @@ fn opts(dir: &std::path::Path) -> SweepOptions {
         jobs: 2,
         cache_dir: Some(dir.to_path_buf()),
         trace: None,
+        ..SweepOptions::default()
     }
 }
 

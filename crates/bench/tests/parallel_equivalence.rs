@@ -47,6 +47,7 @@ fn no_cache(jobs: usize) -> SweepOptions {
         jobs,
         cache_dir: None,
         trace: None,
+        ..SweepOptions::default()
     }
 }
 
@@ -144,6 +145,7 @@ fn warm_cache_replay_is_byte_identical() {
         jobs: 2,
         cache_dir: Some(dir.clone()),
         trace: None,
+        ..SweepOptions::default()
     };
 
     let cold_bench = tiny_bench();

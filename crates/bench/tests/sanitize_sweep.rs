@@ -20,6 +20,7 @@ fn smoke_sweep_runs_clean_under_sanitizer() {
         jobs: 2,
         cache_dir: None,
         trace: None,
+        ..SweepOptions::default()
     };
     let stats = run_sweep(&bench, &figs, &opts);
     assert!(stats.cells > 0, "sweep planned no cells");

@@ -26,6 +26,7 @@ fn trace_with_jobs(jobs: usize) -> TraceData {
         jobs,
         cache_dir: None,
         trace: Some(traced_cell()),
+        ..SweepOptions::default()
     };
     let (_, trace) = run_sweep_traced(&smoke_bench(), &["fig1".to_owned()], &opts);
     trace.expect("a trace was requested")

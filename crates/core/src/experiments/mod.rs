@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pagesim_engine::rng::trial_seed;
+use pagesim_engine::Nanos;
 use pagesim_workloads::buffered::{BufferedIoConfig, BufferedIoWorkload};
 use pagesim_workloads::pagerank::{PageRankConfig, PageRankWorkload};
 use pagesim_workloads::tpch::{TpchConfig, TpchWorkload};
@@ -189,6 +190,14 @@ impl CellQuery {
     fn config_key(&self) -> (Wl, u64) {
         (self.wl, self.system_config().stable_hash())
     }
+
+    /// Public form of the cell content key, used by the sweep executor to
+    /// deduplicate cells across figures and by the figure layer to match a
+    /// [`CellFailure`](crate::CellFailure) back to every figure that
+    /// references the lost cell.
+    pub fn content_key(&self) -> (Wl, u64) {
+        self.config_key()
+    }
 }
 
 /// One unit of sweep work: a cell plus a trial index. `trials` specs per
@@ -311,7 +320,28 @@ impl Bench {
     /// Seeds derive the same way `run_trials` derives them, so a cell
     /// assembled trial-by-trial is identical to one run in a batch.
     pub fn run_trial(&self, query: &CellQuery, trial: u32) -> RunMetrics {
-        let exp = Experiment::new(query.system_config());
+        self.run_trial_budgeted(query, trial, None)
+    }
+
+    /// [`Bench::run_trial`] with an optional sim-time budget, in simulated
+    /// nanoseconds: the executed config's `max_sim_time` is clamped to
+    /// `budget` when one is given. The guard only matters when it trips, so
+    /// a run that finishes *inside* the budget is bit-identical to an
+    /// unbudgeted run and may be cached under the unbudgeted content hash;
+    /// a run that trips it comes back with `RunMetrics::error ==
+    /// Some(SimTimeExceeded)` and truncated metrics, which the sweep
+    /// executor classifies as a timeout failure rather than merging.
+    pub fn run_trial_budgeted(
+        &self,
+        query: &CellQuery,
+        trial: u32,
+        budget: Option<Nanos>,
+    ) -> RunMetrics {
+        let mut config = query.system_config();
+        if let Some(b) = budget {
+            config.max_sim_time = config.max_sim_time.min(b);
+        }
+        let exp = Experiment::new(config);
         let seed = trial_seed(self.scale.seed, trial);
         match query.wl {
             Wl::Tpch => exp.run(&self.tpch, seed),

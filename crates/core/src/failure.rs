@@ -1,0 +1,111 @@
+//! Typed failure records for the sweep execution layer.
+//!
+//! A figure sweep runs thousands of independent trials; PR 1 taught the
+//! *simulation* to degrade instead of panic ([`SimError`]), and this module
+//! gives the *harness* the matching vocabulary: when a trial cannot produce
+//! metrics at all — it panicked on every attempt, or blew a sim-time budget
+//! — the sweep records a [`CellFailure`] instead of aborting, and the
+//! figure layer renders an explicit hole for the lost cell.
+
+use crate::experiments::Wl;
+use crate::kernel::SimError;
+
+/// Why a trial (and therefore its cell) produced no usable metrics.
+///
+/// Note the asymmetry with [`SimError`]: a trial whose metrics merely
+/// *carry* a `SimError` still merges into its cell (the fault experiments
+/// depend on degraded trials being plotted); `FailureKind::Sim` is reserved
+/// for trials whose metrics were unusable end-to-end. Panics and budget
+/// trips never merge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// The trial panicked on every allowed attempt; the payload is the
+    /// panic message of the final attempt.
+    Panic(String),
+    /// The trial's metrics were rejected with a simulation error.
+    Sim(SimError),
+    /// The trial exceeded the sweep's deterministic sim-time budget
+    /// (`SweepOptions::trial_budget`), so its truncated metrics were
+    /// discarded rather than merged.
+    Timeout,
+}
+
+impl FailureKind {
+    /// Stable machine-readable classification, used by the run journal and
+    /// the failure report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureKind::Panic(_) => "panic",
+            FailureKind::Sim(_) => "sim-error",
+            FailureKind::Timeout => "timeout",
+        }
+    }
+
+    /// One-line human-readable detail.
+    pub fn detail(&self) -> String {
+        match self {
+            FailureKind::Panic(msg) => format!("panic: {msg}"),
+            FailureKind::Sim(e) => format!("sim error: {}", e.name()),
+            FailureKind::Timeout => "sim-time budget exceeded".to_owned(),
+        }
+    }
+}
+
+/// A cell the sweep could not complete: at least one of its trials ended
+/// in a [`FailureKind`] after all retries. Carries the cell's content key
+/// (`wl` + `config_hash`) so the figure layer can match the hole back to
+/// every figure that references the cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellFailure {
+    /// Workload of the failed cell.
+    pub wl: Wl,
+    /// Stable hash of the cell's fully-resolved `SystemConfig` (the second
+    /// component of `CellQuery::content_key`).
+    pub config_hash: u64,
+    /// Human-readable cell identity, as used by cache files and logs.
+    pub ident: String,
+    /// Why the cell's trial(s) failed (first failing trial wins).
+    pub kind: FailureKind,
+    /// Attempts spent on the failing trial before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{:016x}]: {} after {} attempt(s)",
+            self.ident,
+            self.config_hash,
+            self.kind.detail(),
+            self.attempts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FailureKind::Panic(String::new()).label(), "panic");
+        assert_eq!(FailureKind::Sim(SimError::Deadlock).label(), "sim-error");
+        assert_eq!(FailureKind::Timeout.label(), "timeout");
+    }
+
+    #[test]
+    fn display_carries_ident_kind_and_attempts() {
+        let f = CellFailure {
+            wl: Wl::Tpch,
+            config_hash: 0xABCD,
+            ident: "tpch/clock/Ssd/r0.50".to_owned(),
+            kind: FailureKind::Panic("boom".to_owned()),
+            attempts: 3,
+        };
+        let s = f.to_string();
+        assert!(s.contains("tpch/clock/Ssd/r0.50"), "{s}");
+        assert!(s.contains("panic: boom"), "{s}");
+        assert!(s.contains("3 attempt(s)"), "{s}");
+    }
+}

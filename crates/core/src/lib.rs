@@ -39,6 +39,7 @@
 
 mod config;
 pub mod experiments;
+mod failure;
 mod kernel;
 mod mem_state;
 mod metrics;
@@ -46,6 +47,7 @@ pub mod report;
 pub mod stablehash;
 
 pub use config::{AppCosts, FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
+pub use failure::{CellFailure, FailureKind};
 pub use kernel::{Kernel, SimError};
 pub use metrics::{Experiment, RunMetrics, TrialSet, CACHE_FORMAT_VERSION};
 pub use stablehash::StableHasher;

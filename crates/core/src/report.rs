@@ -91,9 +91,33 @@ pub fn latency(ns: u64) -> String {
     }
 }
 
+/// Marker line for a figure whose cell was lost to a sweep failure. Holes
+/// are rendered *instead of* the figure body so a degraded run can never be
+/// mistaken for a complete one: every line is `#`-prefixed (comment
+/// convention of the figure stream) and names the missing cell and cause.
+pub fn hole_line(fig: &str, ident: &str, why: &str) -> String {
+    format!("# HOLE {fig}: cell {ident} unavailable ({why})")
+}
+
+/// Banner printed once at the top of a figure stream that contains holes.
+pub fn incomplete_banner(failed_cells: usize) -> String {
+    format!(
+        "# INCOMPLETE SWEEP: {failed_cells} cell(s) failed; affected figures \
+         are rendered as holes, not data"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hole_lines_are_comment_prefixed() {
+        let h = hole_line("fig7", "tpch/clock/Ssd/r0.75", "panic: boom");
+        assert!(h.starts_with("# HOLE fig7"), "{h}");
+        assert!(h.contains("tpch/clock/Ssd/r0.75"), "{h}");
+        assert!(incomplete_banner(2).starts_with("# INCOMPLETE SWEEP: 2"));
+    }
 
     #[test]
     fn table_aligns_columns() {

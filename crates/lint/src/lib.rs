@@ -8,7 +8,7 @@
 //! any `--jobs` count, cache state, or completion order. That contract is
 //! easy to break silently: one `.iter()` over a `HashMap` on a sim path,
 //! one `Instant::now()` folded into a metric, one stray thread. This crate
-//! enforces five rules over the sim crates:
+//! enforces six rules over the sim crates:
 //!
 //! | rule | id             | what it forbids |
 //! |------|----------------|-----------------|
@@ -17,6 +17,7 @@
 //! | L3   | `thread-spawn` | `thread::spawn`/`scope`/`Builder` anywhere except `pagesim-bench::sweep` |
 //! | L4   | `lint-header`  | a workspace member without `[lints] workspace = true`, or a root manifest without the `unsafe_code = "forbid"` deny table |
 //! | L5   | `hot-unwrap`   | `.unwrap()`/`.expect(…)` on kernel hot-path files (fault handling, reclaim, swap I/O) — errors must propagate as typed `SimError`s |
+//! | L6   | `catch-unwind` | `catch_unwind` anywhere except the sweep executor's sanctioned isolation module — ad-hoc panic swallowing hides broken invariants |
 //!
 //! A finding can be waived in place with an annotation **carrying a
 //! reason**, on the same line or the line above:
@@ -44,7 +45,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The five enforced rules.
+/// The six enforced rules.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Rule {
     /// L1: no iteration over hash-ordered containers in sim crates.
@@ -57,6 +58,8 @@ pub enum Rule {
     LintHeader,
     /// L5: no `.unwrap()`/`.expect()` on kernel hot paths.
     HotUnwrap,
+    /// L6: no `catch_unwind` outside the sanctioned isolation module.
+    CatchUnwind,
 }
 
 impl Rule {
@@ -68,10 +71,11 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::LintHeader => "lint-header",
             Rule::HotUnwrap => "hot-unwrap",
+            Rule::CatchUnwind => "catch-unwind",
         }
     }
 
-    /// Stable rule code (`L1`..`L5`).
+    /// Stable rule code (`L1`..`L6`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::HashIter => "L1",
@@ -79,6 +83,7 @@ impl Rule {
             Rule::ThreadSpawn => "L3",
             Rule::LintHeader => "L4",
             Rule::HotUnwrap => "L5",
+            Rule::CatchUnwind => "L6",
         }
     }
 }
@@ -123,6 +128,9 @@ pub struct RuleSet {
     pub thread_spawn: bool,
     /// Apply L5 (`hot-unwrap`).
     pub hot_unwrap: bool,
+    /// Apply L6 (`catch-unwind`).
+    // lint: allow(catch-unwind) rule metadata field, not a panic catch
+    pub catch_unwind: bool,
 }
 
 /// Workspace members whose sources carry the full determinism rule set
@@ -149,7 +157,13 @@ pub const HOT_PATH_FILES: &[&str] = &[
 
 /// The one file allowed to create threads: the deterministic sweep
 /// executor.
-pub const THREAD_EXEMPT_FILES: &[&str] = &["crates/bench/src/sweep.rs"];
+pub const THREAD_EXEMPT_FILES: &[&str] = &["crates/bench/src/sweep/mod.rs"];
+
+/// The one file allowed to call `catch_unwind`: the sweep executor's
+/// per-trial isolation module, where the swallow-a-panic policy is
+/// documented and auditable in one place. Everywhere else a panic is a
+/// broken invariant and must propagate (L6).
+pub const UNWIND_EXEMPT_FILES: &[&str] = &["crates/bench/src/sweep/isolation.rs"];
 
 /// Computes the rule set for a file, given its crate directory name (under
 /// `crates/`) and workspace-relative path.
@@ -160,6 +174,8 @@ pub fn rules_for(crate_dir: &str, rel_path: &str) -> RuleSet {
         wall_clock: sim,
         thread_spawn: !THREAD_EXEMPT_FILES.contains(&rel_path),
         hot_unwrap: HOT_PATH_FILES.contains(&rel_path),
+        // lint: allow(catch-unwind) rule metadata field, not a panic catch
+        catch_unwind: !UNWIND_EXEMPT_FILES.contains(&rel_path),
     }
 }
 
@@ -696,6 +712,22 @@ fn check_hot_unwrap(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Fi
     }
 }
 
+/// L6: `catch_unwind` outside the sanctioned isolation module. Matches the
+/// bare identifier, so imports (`use std::panic::catch_unwind`), qualified
+/// paths, and calls all fire.
+fn check_catch_unwind(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
+    for pos in word_occurrences(text, "catch_unwind") {
+        out.push(Finding {
+            rule: Rule::CatchUnwind,
+            file: file.to_owned(),
+            line: lines.line_of(pos),
+            message: "`catch_unwind` outside the sweep executor's isolation module; \
+                      panic recovery must go through the one audited site"
+                .to_owned(),
+        });
+    }
+}
+
 /// Runs the applicable source rules over one file's contents.
 pub fn lint_source(rules: RuleSet, file: &str, source: &str) -> Vec<Finding> {
     let annotations = allow_annotations(source);
@@ -714,6 +746,10 @@ pub fn lint_source(rules: RuleSet, file: &str, source: &str) -> Vec<Finding> {
     }
     if rules.hot_unwrap {
         check_hot_unwrap(&text, &lines, file, &mut found);
+    }
+    // lint: allow(catch-unwind) rule metadata field, not a panic catch
+    if rules.catch_unwind {
+        check_catch_unwind(&text, &lines, file, &mut found);
     }
     found.retain(|f| !is_allowed(&annotations, f.rule, f.line));
     found.sort_by_key(|a| (a.line, a.rule));
@@ -870,6 +906,7 @@ mod tests {
         wall_clock: true,
         thread_spawn: true,
         hot_unwrap: false,
+        catch_unwind: true,
     };
 
     #[test]
@@ -929,6 +966,19 @@ mod tests {
                    fn t() { let _ = rand::thread_rng(); }\n\
                    }\n";
         assert!(lint_source(SIM, "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_is_flagged_in_imports_and_calls() {
+        let src = "use std::panic::catch_unwind;\n\
+                   fn f() { let _ = catch_unwind(|| 1); }\n";
+        let found = lint_source(SIM, "x.rs", src);
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|f| f.rule == Rule::CatchUnwind));
+        // The sanctioned isolation module is exempt by path.
+        let rules = rules_for("bench", "crates/bench/src/sweep/isolation.rs");
+        assert!(!rules.catch_unwind);
+        assert!(rules_for("bench", "crates/bench/src/sweep/mod.rs").catch_unwind);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Analyzer coverage: every rule L1–L5 demonstrated against known-bad and
+//! Analyzer coverage: every rule L1–L6 demonstrated against known-bad and
 //! known-good fixtures, asserting exact rule ids, file/line spans, and CLI
 //! exit codes.
 
@@ -26,6 +26,7 @@ const SIM: RuleSet = RuleSet {
     wall_clock: true,
     thread_spawn: true,
     hot_unwrap: false,
+    catch_unwind: true,
 };
 
 const HOT: RuleSet = RuleSet {
@@ -33,6 +34,7 @@ const HOT: RuleSet = RuleSet {
     wall_clock: true,
     thread_spawn: true,
     hot_unwrap: true,
+    catch_unwind: true,
 };
 
 #[test]
@@ -100,7 +102,7 @@ fn l3_accepts_data_parallel_expression() {
 
 #[test]
 fn l3_exempts_the_sweep_executor_file() {
-    let rules = rules_for("bench", "crates/bench/src/sweep.rs");
+    let rules = rules_for("bench", "crates/bench/src/sweep/mod.rs");
     assert!(!rules.thread_spawn);
     let rules = rules_for("bench", "crates/bench/src/lib.rs");
     assert!(rules.thread_spawn);
@@ -153,6 +155,30 @@ fn hot_path_files_get_l5_automatically() {
         assert!(rules_for(crate_dir, file).hot_unwrap, "{file}");
     }
     assert!(!rules_for("core", "crates/core/src/lib.rs").hot_unwrap);
+}
+
+#[test]
+fn l6_flags_catch_unwind_import_and_call() {
+    assert_eq!(
+        lint_fixture("l6_bad.rs", SIM),
+        vec![
+            (Rule::CatchUnwind, 4),
+            (Rule::CatchUnwind, 7),
+            (Rule::CatchUnwind, 8),
+        ]
+    );
+}
+
+#[test]
+fn l6_accepts_propagating_panics() {
+    assert_eq!(lint_fixture("l6_good.rs", SIM), vec![]);
+}
+
+#[test]
+fn l6_exempts_only_the_isolation_module() {
+    assert!(!rules_for("bench", "crates/bench/src/sweep/isolation.rs").catch_unwind);
+    assert!(rules_for("bench", "crates/bench/src/sweep/mod.rs").catch_unwind);
+    assert!(rules_for("core", "crates/core/src/kernel.rs").catch_unwind);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,9 @@
+//! L6 fixture: ad-hoc panic swallowing outside the sanctioned isolation
+//! module — both the import and the qualified call must be flagged.
+
+use std::panic::catch_unwind;
+
+pub fn swallow(f: impl Fn() + std::panic::UnwindSafe + Copy) {
+    let _ = catch_unwind(f);
+    let _ = std::panic::catch_unwind(f);
+}

@@ -1,0 +1,11 @@
+//! L6 fixture: panics propagate; recovery is delegated to the sweep
+//! executor's isolation module instead of caught ad hoc. Mentioning
+//! catch_unwind in comments or strings must not trip the rule.
+
+pub fn run(f: impl Fn() -> u32) -> u32 {
+    // A failed invariant here should unwind to the isolation layer, not
+    // be swallowed locally ("catch_unwind" belongs there alone).
+    let banner = "no catch_unwind here";
+    let _ = banner;
+    f()
+}
