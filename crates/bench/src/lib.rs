@@ -21,9 +21,12 @@
 //!   [`sweep::run_sweep_resilient`].
 
 
+pub mod repro_bench;
+pub mod statline;
 pub mod sweep;
 
 pub use pagesim::experiments::Scale;
+pub use statline::{ParsedStatLine, StatLine};
 pub use sweep::{
     run_sweep, run_sweep_resilient, ChaosPlan, SweepOptions, SweepOutcome, SweepStats,
 };

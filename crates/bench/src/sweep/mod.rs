@@ -170,27 +170,25 @@ impl std::fmt::Display for SweepStats {
     /// exec_ms=41 merge_ms=0 resumed=0 retries=0 quarantined=0
     /// tmp_cleaned=0 failed=0 respawns=0`.
     /// Tools match on the `key=value` tokens; the key set only grows.
+    /// Built on [`crate::statline::StatLine`] so this line and the bench
+    /// summary can never drift apart in shape.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "sweep cells={} trials={} hits={} misses={} hit_rate={:.3} \
-             plan_ms={} exec_ms={} merge_ms={} resumed={} retries={} \
-             quarantined={} tmp_cleaned={} failed={} respawns={}",
-            self.cells,
-            self.trials,
-            self.cache_hits,
-            self.cache_misses,
-            self.hit_rate(),
-            self.plan_ms,
-            self.exec_ms,
-            self.merge_ms,
-            self.resumed,
-            self.retries,
-            self.quarantined,
-            self.tmp_cleaned,
-            self.failed,
-            self.respawns,
-        )
+        let mut line = crate::statline::StatLine::new("sweep");
+        line.push("cells", self.cells)
+            .push("trials", self.trials)
+            .push("hits", self.cache_hits)
+            .push("misses", self.cache_misses)
+            .push("hit_rate", format!("{:.3}", self.hit_rate()))
+            .push("plan_ms", self.plan_ms)
+            .push("exec_ms", self.exec_ms)
+            .push("merge_ms", self.merge_ms)
+            .push("resumed", self.resumed)
+            .push("retries", self.retries)
+            .push("quarantined", self.quarantined)
+            .push("tmp_cleaned", self.tmp_cleaned)
+            .push("failed", self.failed)
+            .push("respawns", self.respawns);
+        write!(f, "{line}")
     }
 }
 

@@ -1,0 +1,130 @@
+//! Determinism of the `repro bench` matrix (ISSUE 7 satellite): the matrix
+//! *spec* — metric names, units, directions, probe labels — is a pure
+//! function of the scale and feature set. Two runs at the same commit and
+//! seed must enumerate byte-identical specs and produce entries with
+//! identical metric structure; only the timing samples may differ. The
+//! worker count must not change the spec set either.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use pagesim_bench::repro_bench::history::BenchHistory;
+use pagesim_bench::repro_bench::{matrix, matrix_spec, BenchScale};
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pagesim-benchdet-{}-{}", name, std::process::id()))
+}
+
+/// The structural skeleton of an entry: everything except the sampled
+/// numbers. Two same-commit runs must agree on this byte string exactly.
+fn structure_of(history: &BenchHistory) -> String {
+    let mut out = String::new();
+    for e in &history.entries {
+        out.push_str(&format!(
+            "entry commit={} scale={} seed={} counters={}\n",
+            e.commit, e.bench_scale, e.seed, e.counters_enabled
+        ));
+        for m in &e.metrics {
+            out.push_str(&format!(
+                "  {} unit={} direction={}\n",
+                m.name,
+                m.unit,
+                m.direction.label()
+            ));
+        }
+    }
+    out
+}
+
+/// In-process: matrix enumeration is pure and scale-stable.
+#[test]
+fn matrix_spec_is_pure() {
+    for scale in [BenchScale::quick(), BenchScale::default_scale()] {
+        let a = matrix_spec(&matrix(&scale));
+        let b = matrix_spec(&matrix(&scale));
+        assert_eq!(a, b, "scale {}", scale.name);
+        assert!(!a.is_empty());
+    }
+    // Quick is a strict subset of default: every quick metric line exists
+    // in the default spec too (the trajectory names are scale-independent).
+    let quick = matrix_spec(&matrix(&BenchScale::quick()));
+    let default = matrix_spec(&matrix(&BenchScale::default_scale()));
+    for line in quick.lines() {
+        assert!(default.contains(line), "quick-only metric {line:?}");
+    }
+}
+
+/// Binary level: `repro bench --list` is byte-identical across invocations
+/// and across `--jobs`.
+#[test]
+fn list_output_is_byte_identical_across_runs_and_jobs() {
+    let runs: Vec<Vec<u8>> = [("1", ()), ("4", ()), ("1", ())]
+        .iter()
+        .map(|(jobs, ())| {
+            let out = repro()
+                .args(["bench", "--list", "--bench-scale", "quick", "--jobs", jobs])
+                .output()
+                .expect("spawn repro");
+            assert!(out.status.success());
+            out.stdout
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "jobs=1 vs jobs=4 spec differs");
+    assert_eq!(runs[0], runs[2], "re-run spec differs");
+    let text = String::from_utf8(runs[0].clone()).unwrap();
+    // And the binary's spec matches the library enumeration (the binary is
+    // built without bench-counters in this test profile, as are we).
+    assert_eq!(text, matrix_spec(&matrix(&BenchScale::quick())));
+}
+
+/// Two full runs at the same commit and seed produce entries whose
+/// structure (names, units, directions, stamps) is byte-identical; only
+/// the sampled values differ. A jobs=4 run agrees too.
+#[test]
+fn bench_runs_agree_on_metric_structure() {
+    let dir = tmp("runs");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut structures = Vec::new();
+    for (i, jobs) in ["1", "1", "4"].iter().enumerate() {
+        let out_file = dir.join(format!("hist-{i}.json"));
+        let out = repro()
+            .args([
+                "bench",
+                "--bench-scale",
+                "quick",
+                "--min-samples",
+                "2",
+                "--max-samples",
+                "2",
+                "--jobs",
+                jobs,
+                "--commit",
+                "det-test",
+                "--out",
+            ])
+            .arg(&out_file)
+            .output()
+            .expect("spawn repro");
+        assert!(
+            out.status.success(),
+            "run {i} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&out_file).unwrap();
+        let hist = BenchHistory::parse(&text).expect("emitted history parses");
+        assert_eq!(hist.entries.len(), 1);
+        for m in &hist.entries[0].metrics {
+            assert_eq!(m.samples, 2, "{} sample count", m.name);
+            assert!(m.min <= m.mean && m.mean <= m.max, "{} ordering", m.name);
+        }
+        structures.push(structure_of(&hist));
+    }
+    assert_eq!(structures[0], structures[1], "same-jobs runs differ structurally");
+    assert_eq!(structures[0], structures[2], "jobs=1 vs jobs=4 differ structurally");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,218 @@
+//! Host-time fault/reclaim path counters for `repro bench`.
+//!
+//! The benchmark matrix tracks per-policy fault-path ns/op and
+//! reclaim-batch ns/op. Those are *host* wall-clock measurements — exactly
+//! what the determinism rules ban from the simulation proper — so they
+//! live here in a feature-gated side channel:
+//!
+//! * Behind `--features bench-counters`, [`time_fault`] / [`time_reclaim`]
+//!   return RAII timers that accumulate elapsed nanoseconds and op counts
+//!   into thread-local cells, read out with [`take`].
+//! * Without the feature (all figure runs), the timers are zero-sized
+//!   no-ops and the hooks compile to nothing. The counters never feed back
+//!   into `RunMetrics` or any simulated decision, so figure output is
+//!   byte-identical either way — CI enforces this with a golden diff of
+//!   `figures_default.txt` built both ways.
+//!
+//! Counters are thread-local on purpose: the sweep executor runs one trial
+//! per worker thread, so a worker's `reset`/run/`take` window observes only
+//! its own trial with no synchronization on the hot path.
+
+/// Accumulated hot-path counters for one measurement window (one trial on
+/// one thread). All zeros when `bench-counters` is compiled out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Total host nanoseconds spent inside the page-fault path.
+    pub fault_ns: u64,
+    /// Number of timed fault-path entries.
+    pub fault_ops: u64,
+    /// Total host nanoseconds spent inside reclaim batches (kswapd slices
+    /// and direct reclaim rounds: policy scan + eviction application).
+    pub reclaim_ns: u64,
+    /// Number of timed reclaim batches.
+    pub reclaim_ops: u64,
+}
+
+impl CounterSnapshot {
+    /// Mean fault-path nanoseconds per operation, or `None` with no ops.
+    pub fn fault_ns_per_op(&self) -> Option<f64> {
+        (self.fault_ops > 0).then(|| self.fault_ns as f64 / self.fault_ops as f64)
+    }
+
+    /// Mean reclaim-batch nanoseconds per batch, or `None` with no ops.
+    pub fn reclaim_ns_per_op(&self) -> Option<f64> {
+        (self.reclaim_ops > 0).then(|| self.reclaim_ns as f64 / self.reclaim_ops as f64)
+    }
+}
+
+#[cfg(feature = "bench-counters")]
+mod imp {
+    use super::CounterSnapshot;
+    use std::cell::Cell;
+    // lint: allow(wall-clock) host-time benchmark counters, feature-gated out of figure runs and never fed back into the simulation
+    use std::time::Instant;
+
+    thread_local! {
+        static FAULT_NS: Cell<u64> = const { Cell::new(0) };
+        static FAULT_OPS: Cell<u64> = const { Cell::new(0) };
+        static RECLAIM_NS: Cell<u64> = const { Cell::new(0) };
+        static RECLAIM_OPS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// RAII timer charging its lifetime to the fault-path counters.
+    pub struct FaultTimer {
+        // lint: allow(wall-clock) see module header: side-channel measurement only
+        start: Instant,
+    }
+
+    impl Drop for FaultTimer {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            FAULT_NS.with(|c| c.set(c.get().saturating_add(ns)));
+        }
+    }
+
+    /// RAII timer charging its lifetime to the reclaim-batch counters.
+    pub struct ReclaimTimer {
+        // lint: allow(wall-clock) see module header: side-channel measurement only
+        start: Instant,
+    }
+
+    impl Drop for ReclaimTimer {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            RECLAIM_NS.with(|c| c.set(c.get().saturating_add(ns)));
+        }
+    }
+
+    /// Starts timing one fault-path entry.
+    pub fn time_fault() -> FaultTimer {
+        FAULT_OPS.with(|c| c.set(c.get() + 1));
+        FaultTimer {
+            // lint: allow(wall-clock) see module header: side-channel measurement only
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts timing one reclaim batch.
+    pub fn time_reclaim() -> ReclaimTimer {
+        RECLAIM_OPS.with(|c| c.set(c.get() + 1));
+        ReclaimTimer {
+            // lint: allow(wall-clock) see module header: side-channel measurement only
+            start: Instant::now(),
+        }
+    }
+
+    /// Zeroes this thread's counters (call before a measurement window).
+    pub fn reset() {
+        FAULT_NS.with(|c| c.set(0));
+        FAULT_OPS.with(|c| c.set(0));
+        RECLAIM_NS.with(|c| c.set(0));
+        RECLAIM_OPS.with(|c| c.set(0));
+    }
+
+    /// Reads and zeroes this thread's counters (call after the window).
+    pub fn take() -> CounterSnapshot {
+        let snap = CounterSnapshot {
+            fault_ns: FAULT_NS.with(Cell::get),
+            fault_ops: FAULT_OPS.with(Cell::get),
+            reclaim_ns: RECLAIM_NS.with(Cell::get),
+            reclaim_ops: RECLAIM_OPS.with(Cell::get),
+        };
+        reset();
+        snap
+    }
+}
+
+#[cfg(not(feature = "bench-counters"))]
+mod imp {
+    use super::CounterSnapshot;
+
+    /// No-op stand-in for the fault timer when counters are compiled out.
+    pub struct FaultTimer;
+
+    impl Drop for FaultTimer {
+        fn drop(&mut self) {}
+    }
+
+    /// No-op stand-in for the reclaim timer when counters are compiled out.
+    pub struct ReclaimTimer;
+
+    impl Drop for ReclaimTimer {
+        fn drop(&mut self) {}
+    }
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
+    pub fn time_fault() -> FaultTimer {
+        FaultTimer
+    }
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
+    pub fn time_reclaim() -> ReclaimTimer {
+        ReclaimTimer
+    }
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Always the zero snapshot: counters are compiled out.
+    #[inline(always)]
+    pub fn take() -> CounterSnapshot {
+        CounterSnapshot::default()
+    }
+}
+
+pub use imp::{reset, take, time_fault, time_reclaim, FaultTimer, ReclaimTimer};
+
+/// Whether this build carries the hot-path counters (`bench-counters`).
+pub const ENABLED: bool = cfg!(feature = "bench-counters");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_build_reads_all_zeros() {
+        if ENABLED {
+            return;
+        }
+        reset();
+        {
+            let _f = time_fault();
+            let _r = time_reclaim();
+        }
+        assert_eq!(take(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn enabled_build_counts_ops_and_time() {
+        if !ENABLED {
+            return;
+        }
+        reset();
+        for _ in 0..3 {
+            let t = time_fault();
+            std::hint::black_box(0u64);
+            drop(t);
+        }
+        {
+            let _r = time_reclaim();
+        }
+        let snap = take();
+        assert_eq!(snap.fault_ops, 3);
+        assert_eq!(snap.reclaim_ops, 1);
+        assert!(snap.fault_ns_per_op().is_some());
+        // take() resets: a second read is empty.
+        assert_eq!(take(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn ns_per_op_is_none_without_ops() {
+        let snap = CounterSnapshot::default();
+        assert_eq!(snap.fault_ns_per_op(), None);
+        assert_eq!(snap.reclaim_ns_per_op(), None);
+    }
+}

@@ -37,6 +37,7 @@
 //! ```
 
 
+pub mod benchcounters;
 mod config;
 pub mod experiments;
 mod failure;

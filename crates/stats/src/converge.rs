@@ -1,0 +1,304 @@
+//! Adaptive stopping rule for statistically-converged benchmarking.
+//!
+//! The source paper fights run-to-run variance with a fixed 25-reboot
+//! repetition; the benchmark harness instead samples each metric until its
+//! 95% confidence interval is narrow *relative to the mean* — the
+//! convergence scheme used by lambars' `stats_format.md` (SNIPPETS.md §1):
+//! a metric is converged when `(ci_hi - ci_lo) / mean < 0.1`. A hard
+//! sample cap bounds the cost of a metric that never settles; tripping the
+//! cap is reported honestly as `converged: false` rather than silently
+//! accepted.
+//!
+//! The CI uses Student's t on the standard error (`stddev / sqrt(n)`), so
+//! small sample counts get appropriately wide intervals; critical values
+//! come from inverting the same incomplete-beta p-value the Welch t-test
+//! uses, not from a lookup table.
+
+use crate::moments::Moments;
+use crate::ttest::student_t_two_sided_p;
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom:
+/// the `t` with `P(|T| >= t) = 0.05`.
+///
+/// Computed by bisection on the monotone p-value function (exact to the
+/// incomplete-beta implementation's precision, ~1e-10). For reference:
+/// `df = 2 → 4.303`, `df = 10 → 2.228`, `df → ∞ → 1.960`.
+///
+/// # Panics
+///
+/// Panics if `df` is not strictly positive and finite.
+pub fn t_critical_95(df: f64) -> f64 {
+    assert!(df > 0.0 && df.is_finite(), "invalid degrees of freedom");
+    const ALPHA: f64 = 0.05;
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // p(hi) decreases as hi grows; expand until we bracket alpha. df = 1
+    // (Cauchy) needs t ≈ 12.7, so the bracket grows fast but stays finite.
+    while student_t_two_sided_p(hi, df) > ALPHA {
+        hi *= 2.0;
+        if hi > 1e9 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_two_sided_p(mid, df) > ALPHA {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A point estimate with its uncertainty, in the `stats.json` shape of
+/// SNIPPETS.md §1: mean, spread, a 95% CI, the CI-width-to-mean ratio the
+/// stopping rule thresholds on, and the convergence verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricEstimate {
+    /// Arithmetic mean of the samples.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub stddev: f64,
+    /// Standard error of the mean (`stddev / sqrt(n)`).
+    pub stderr: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub samples: u64,
+    /// Lower bound of the 95% CI (`mean - t * stderr`).
+    pub ci_lo: f64,
+    /// Upper bound of the 95% CI.
+    pub ci_hi: f64,
+    /// `(ci_hi - ci_lo) / |mean|`; infinite when the mean is zero but the
+    /// interval is not (near-zero means are judged on absolute width).
+    pub ci_width_ratio: f64,
+    /// Whether the stopping rule's criterion was met before the cap.
+    pub converged: bool,
+}
+
+/// What the stopping rule says to do after the latest sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep sampling: below the minimum count, or not yet converged and
+    /// below the cap.
+    Continue,
+    /// Stop. `converged: false` means the hard cap tripped first.
+    Stop {
+        /// Whether the CI-width criterion was satisfied.
+        converged: bool,
+    },
+}
+
+/// The adaptive stopping rule: sample until the 95% CI width is below
+/// `rel_width` of the mean, bounded by `[min_samples, max_samples]`.
+///
+/// ```rust
+/// use pagesim_stats::{Moments, StopRule, Decision};
+/// let rule = StopRule::new(0.10, 3, 100);
+/// let mut m = Moments::new();
+/// loop {
+///     m.add(42.0); // a perfectly stable metric
+///     match rule.decide(&m) {
+///         Decision::Continue => {}
+///         Decision::Stop { converged } => {
+///             assert!(converged);
+///             break;
+///         }
+///     }
+/// }
+/// assert_eq!(m.count(), 3); // converged exactly at the minimum
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StopRule {
+    /// Maximum accepted `(ci_hi - ci_lo) / |mean|` (0.10 = the 10% rule).
+    pub rel_width: f64,
+    /// Samples required before convergence may be declared (≥ 2, so a CI
+    /// exists at all).
+    pub min_samples: u64,
+    /// Hard cap; reaching it stops sampling with `converged: false`.
+    pub max_samples: u64,
+}
+
+impl StopRule {
+    /// Builds a rule, validating `rel_width > 0` and
+    /// `2 <= min_samples <= max_samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid combination.
+    pub fn new(rel_width: f64, min_samples: u64, max_samples: u64) -> StopRule {
+        assert!(rel_width > 0.0 && rel_width.is_finite(), "invalid rel_width");
+        assert!(min_samples >= 2, "CI needs at least 2 samples");
+        assert!(max_samples >= min_samples, "cap below minimum");
+        StopRule {
+            rel_width,
+            min_samples,
+            max_samples,
+        }
+    }
+
+    /// The default 10%-width / 95%-confidence rule over `[min, max]`
+    /// samples.
+    pub fn ten_percent(min_samples: u64, max_samples: u64) -> StopRule {
+        StopRule::new(0.10, min_samples, max_samples)
+    }
+
+    /// The estimate for the samples accumulated so far. `converged`
+    /// reflects this rule's criterion (width ratio *and* minimum count).
+    pub fn estimate(&self, m: &Moments) -> MetricEstimate {
+        let n = m.count();
+        let mean = m.mean();
+        let stddev = m.std();
+        let (stderr, half) = if n >= 2 {
+            let se = stddev / (n as f64).sqrt();
+            (se, t_critical_95((n - 1) as f64) * se)
+        } else {
+            (0.0, 0.0)
+        };
+        let (ci_lo, ci_hi) = (mean - half, mean + half);
+        let width = 2.0 * half;
+        let ci_width_ratio = if width == 0.0 {
+            0.0
+        } else if mean == 0.0 {
+            f64::INFINITY
+        } else {
+            width / mean.abs()
+        };
+        MetricEstimate {
+            mean,
+            stddev,
+            stderr,
+            min: m.min(),
+            max: m.max(),
+            samples: n,
+            ci_lo,
+            ci_hi,
+            ci_width_ratio,
+            converged: n >= self.min_samples && ci_width_ratio <= self.rel_width,
+        }
+    }
+
+    /// The decision after the samples accumulated so far.
+    pub fn decide(&self, m: &Moments) -> Decision {
+        let n = m.count();
+        if n < self.min_samples {
+            return Decision::Continue;
+        }
+        let est = self.estimate(m);
+        if est.converged {
+            Decision::Stop { converged: true }
+        } else if n >= self.max_samples {
+            Decision::Stop { converged: false }
+        } else {
+            Decision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_critical_matches_standard_tables() {
+        // Two-sided 95% critical values (any standard t table).
+        for (df, expect) in [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (30.0, 2.042),
+            (100.0, 1.984),
+            (10_000.0, 1.960),
+        ] {
+            let t = t_critical_95(df);
+            assert!(
+                (t - expect).abs() < 2e-3,
+                "df={df}: got {t}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_stream_converges_at_minimum() {
+        let rule = StopRule::ten_percent(4, 100);
+        let mut m = Moments::new();
+        for i in 1..=10u64 {
+            m.add(7.0);
+            let d = rule.decide(&m);
+            if i < 4 {
+                assert_eq!(d, Decision::Continue, "n={i}");
+            } else {
+                assert_eq!(d, Decision::Stop { converged: true }, "n={i}");
+                break;
+            }
+        }
+        let est = rule.estimate(&m);
+        assert_eq!(est.samples, 4);
+        assert_eq!(est.ci_width_ratio, 0.0);
+        assert!(est.converged);
+    }
+
+    #[test]
+    fn cap_trips_with_converged_false() {
+        // Alternating extremes never get a narrow relative CI.
+        let rule = StopRule::ten_percent(2, 12);
+        let mut m = Moments::new();
+        let mut stopped = None;
+        for i in 0..1000 {
+            m.add(if i % 2 == 0 { 1.0 } else { 1000.0 });
+            if let Decision::Stop { converged } = rule.decide(&m) {
+                stopped = Some((m.count(), converged));
+                break;
+            }
+        }
+        assert_eq!(stopped, Some((12, false)));
+        assert!(!rule.estimate(&m).converged);
+    }
+
+    #[test]
+    fn matches_snippet_worked_example() {
+        // SNIPPETS.md §1: n = 3, t(0.975, 2) = 4.303, stderr 0.462 →
+        // half-width ≈ 1.99, ratio ≈ 0.093 → converged under the 10% rule.
+        let rule = StopRule::ten_percent(3, 100);
+        let mut m = Moments::new();
+        for x in [41.8, 42.74, 43.4] {
+            m.add(x);
+        }
+        let est = rule.estimate(&m);
+        assert!((est.mean - 42.646_666).abs() < 1e-3);
+        assert!((est.stderr - 0.4647).abs() < 2e-3, "stderr {}", est.stderr);
+        let half = est.ci_hi - est.mean;
+        assert!((half - 2.0).abs() < 0.02, "half {half}");
+        assert!(est.ci_width_ratio < 0.10 && est.converged);
+    }
+
+    #[test]
+    fn zero_mean_uses_absolute_verdict() {
+        let rule = StopRule::ten_percent(3, 10);
+        let mut m = Moments::new();
+        for x in [-1.0, 0.0, 1.0] {
+            m.add(x);
+        }
+        let est = rule.estimate(&m);
+        assert!(est.ci_width_ratio.is_infinite());
+        assert!(!est.converged);
+        // All-zero samples: zero width, converged.
+        let mut z = Moments::new();
+        for _ in 0..3 {
+            z.add(0.0);
+        }
+        assert!(rule.estimate(&z).converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "CI needs at least 2 samples")]
+    fn rejects_min_below_two() {
+        StopRule::new(0.1, 1, 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the `repro bench` stopping rule (ISSUE 7 satellite):
+//! the CI-width criterion terminates for finite-variance streams, never
+//! declares convergence before the minimum sample count, and the interval
+//! math agrees with a brute-force recomputation from first principles.
+
+use proptest::prelude::*;
+
+use pagesim_stats::{t_critical_95, Decision, Moments, StopRule};
+
+fn moments_of(xs: &[f64]) -> Moments {
+    let mut m = Moments::new();
+    for &x in xs {
+        m.add(x);
+    }
+    m
+}
+
+/// Brute-force CI from the raw sample, independent of `Moments`' streaming
+/// update: textbook mean, n−1 variance, and `mean ± t·s/√n`.
+fn naive_ci(xs: &[f64]) -> (f64, f64, f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let stderr = (var / n).sqrt();
+    let half = t_critical_95(n - 1.0) * stderr;
+    (mean, stderr, mean - half, mean + half)
+}
+
+proptest! {
+    /// The rule always stops at or before the cap, and any stop at the cap
+    /// without meeting the criterion says `converged: false`.
+    #[test]
+    fn terminates_for_any_finite_stream(
+        xs in prop::collection::vec(0.0f64..1e6, 64..128),
+        min in 2u64..8,
+        cap in 8u64..64,
+    ) {
+        let rule = StopRule::new(0.10, min, cap);
+        let mut m = Moments::new();
+        let mut stop = None;
+        for &x in &xs {
+            m.add(x);
+            if let Decision::Stop { converged } = rule.decide(&m) {
+                stop = Some((m.count(), converged));
+                break;
+            }
+        }
+        // The stream is longer than the cap, so a stop must have happened.
+        let (n, converged) = stop.expect("rule must stop by the cap");
+        prop_assert!(n >= min && n <= cap, "stopped at n={n}");
+        if n == cap && !converged {
+            prop_assert!(rule.estimate(&m).ci_width_ratio > 0.10);
+        }
+        if converged {
+            prop_assert!(rule.estimate(&m).ci_width_ratio <= 0.10);
+        }
+    }
+
+    /// Convergence is never declared before `min_samples`, no matter how
+    /// stable the stream is.
+    #[test]
+    fn never_converged_before_min(
+        value in 1.0f64..1e9,
+        min in 2u64..32,
+    ) {
+        let rule = StopRule::new(0.10, min, min + 100);
+        let mut m = Moments::new();
+        for i in 1..min {
+            m.add(value); // zero variance: maximally convergence-friendly
+            prop_assert_eq!(rule.decide(&m), Decision::Continue, "n={}", i);
+            prop_assert!(!rule.estimate(&m).converged, "n={}", i);
+        }
+        m.add(value);
+        prop_assert_eq!(rule.decide(&m), Decision::Stop { converged: true });
+    }
+
+    /// The streaming CI agrees with a brute-force recomputation from the
+    /// raw samples.
+    #[test]
+    fn ci_matches_brute_force(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
+    ) {
+        let rule = StopRule::new(0.10, 2, 1000);
+        let est = rule.estimate(&moments_of(&xs));
+        let (mean, stderr, lo, hi) = naive_ci(&xs);
+        let scale = 1.0 + mean.abs() + stderr.abs();
+        prop_assert!((est.mean - mean).abs() <= 1e-9 * scale, "mean");
+        prop_assert!((est.stderr - stderr).abs() <= 1e-6 * scale, "stderr");
+        prop_assert!((est.ci_lo - lo).abs() <= 1e-6 * scale, "ci_lo");
+        prop_assert!((est.ci_hi - hi).abs() <= 1e-6 * scale, "ci_hi");
+        prop_assert_eq!(est.samples, xs.len() as u64);
+    }
+
+    /// The reported interval always brackets the mean and the width ratio
+    /// is consistent with the endpoints.
+    #[test]
+    fn interval_is_internally_consistent(
+        xs in prop::collection::vec(0.5f64..1e6, 2..100),
+    ) {
+        let rule = StopRule::new(0.10, 2, 1000);
+        let est = rule.estimate(&moments_of(&xs));
+        prop_assert!(est.ci_lo <= est.mean && est.mean <= est.ci_hi);
+        prop_assert!(est.min <= est.mean && est.mean <= est.max);
+        let width = est.ci_hi - est.ci_lo;
+        // All samples positive → mean > 0 → ratio is width / mean.
+        let ratio = width / est.mean;
+        prop_assert!((est.ci_width_ratio - ratio).abs() <= 1e-9 * (1.0 + ratio));
+        prop_assert_eq!(est.converged, ratio <= 0.10);
+    }
+
+    /// t-critical values decrease with df and stay above the normal-limit
+    /// 1.96 — the monotonicity the bisection relies on.
+    #[test]
+    fn t_critical_is_monotone(df in 1.0f64..500.0) {
+        let t = t_critical_95(df);
+        let t_next = t_critical_95(df + 1.0);
+        prop_assert!(t_next <= t + 1e-9, "df={df}: {t} -> {t_next}");
+        prop_assert!(t >= 1.959, "df={df}: {t}");
+        prop_assert!(t <= 12.707, "df={df}: {t}");
+    }
+}
+
+/// A low-variance-but-not-constant stream converges well before a generous
+/// cap: the half-width shrinks like 1/√n, so termination is guaranteed for
+/// any finite-variance stream with nonzero mean.
+#[test]
+fn low_noise_stream_converges_before_cap() {
+    let rule = StopRule::ten_percent(3, 10_000);
+    let mut m = Moments::new();
+    let mut stopped_at = None;
+    for i in 0u64..10_000 {
+        // Deterministic ±1% wobble around 100.
+        let x = 100.0 + if i % 2 == 0 { 1.0 } else { -1.0 };
+        m.add(x);
+        if let Decision::Stop { converged } = rule.decide(&m) {
+            assert!(converged);
+            stopped_at = Some(m.count());
+            break;
+        }
+    }
+    let n = stopped_at.expect("must converge");
+    assert!(n < 100, "converged at n={n}");
+}
