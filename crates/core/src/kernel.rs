@@ -237,6 +237,9 @@ pub struct Kernel {
     /// Threads killed by the OOM killer or an unrecoverable I/O error;
     /// they retire at their next dispatch.
     killed: Vec<bool>,
+    /// Per-thread RSS scratch for the OOM victim scan, reused across
+    /// invocations so the stall path never allocates.
+    oom_rss: Vec<u64>,
     /// Consecutive failed swap-in attempts per thread (exponential
     /// backoff); reset on a successful read submission.
     retry_attempts: Vec<u32>,
@@ -380,6 +383,7 @@ impl Kernel {
             inflight: BTreeMap::new(),
             frame_owner: vec![None; frames],
             killed: vec![false; thread_count],
+            oom_rss: vec![0; thread_count],
             retry_attempts: vec![0; thread_count],
             stall_streak: 0,
             io_pinned: BTreeSet::new(),
@@ -1187,14 +1191,15 @@ impl Kernel {
     /// heuristic in its simplest form: biggest wins, ties to the lowest
     /// tid for determinism.
     fn oom_kill(&mut self) {
-        let mut rss = vec![0u64; self.bodies.len()];
+        self.oom_rss.fill(0);
         for f in 0..self.mem.phys.capacity() as u32 {
             if self.mem.phys.state(f) == FrameState::InUse {
                 if let Some(t) = self.frame_owner[f as usize] {
-                    rss[t.0 as usize] += 1;
+                    self.oom_rss[t.0 as usize] += 1;
                 }
             }
         }
+        let rss = &self.oom_rss;
         let victim = (0..self.bodies.len())
             .filter(|&i| matches!(self.bodies[i], ThreadBody::App { .. }))
             .filter(|&i| !self.killed[i] && !self.sched.is_finished(ThreadId(i as u32)))

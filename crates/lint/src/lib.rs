@@ -5,19 +5,43 @@
 //! changes should *fail to merge*, not corrupt characterization data.
 //!
 //! The repo's core contract is that figure output is byte-identical for
-//! any `--jobs` count, cache state, or completion order. That contract is
-//! easy to break silently: one `.iter()` over a `HashMap` on a sim path,
-//! one `Instant::now()` folded into a metric, one stray thread. This crate
-//! enforces six rules over the sim crates:
+//! any `--jobs` count, cache state, or completion order, and (ROADMAP
+//! item 1) that the fault/reclaim loops run at millions of pages per
+//! second. Both are easy to break silently: one `.iter()` over a
+//! `HashMap`, one `Instant::now()` hidden a helper away, one `format!`
+//! per fault. This crate enforces the rule catalog below.
+//!
+//! ## Rule catalog
+//!
+//! File-scoped determinism rules (as in PR 3):
 //!
 //! | rule | id             | what it forbids |
 //! |------|----------------|-----------------|
-//! | L1   | `hash-iter`    | iterating `HashMap`/`HashSet` state (`iter`, `keys`, `values`, `drain`, `into_iter`, `retain`, `for … in`) in sim crates |
+//! | L1   | `hash-iter`    | iterating `HashMap`/`HashSet` state in sim crates |
 //! | L2   | `wall-clock`   | ambient time/entropy: `Instant::now`, `SystemTime`, `thread_rng`, `RandomState`, `OsRng` in sim crates |
 //! | L3   | `thread-spawn` | `thread::spawn`/`scope`/`Builder` anywhere except `pagesim-bench::sweep` |
 //! | L4   | `lint-header`  | a workspace member without `[lints] workspace = true`, or a root manifest without the `unsafe_code = "forbid"` deny table |
-//! | L5   | `hot-unwrap`   | `.unwrap()`/`.expect(…)` on kernel hot-path files (fault handling, reclaim, swap I/O) — errors must propagate as typed `SimError`s |
-//! | L6   | `catch-unwind` | `catch_unwind` anywhere except the sweep executor's sanctioned isolation module — ad-hoc panic swallowing hides broken invariants |
+//! | L5   | `hot-unwrap`   | `.unwrap()`/`.expect(…)` on kernel hot-path files |
+//! | L6   | `catch-unwind` | `catch_unwind` outside the sweep executor's isolation module |
+//!
+//! Call-graph rules, scoped to the *hot-path cone* — every function
+//! transitively reachable from `Kernel::fault`, the reclaim/aging entry
+//! points, or a `Policy` impl's hot methods (see [`graph::HOT_ROOTS`]):
+//! L1/L2 constructs anywhere in the cone are reported with the full
+//! root→…→function call chain, and the H-series hygiene rules apply:
+//!
+//! | rule | id               | what it forbids in the cone |
+//! |------|------------------|------------------------------|
+//! | H1   | `hot-alloc`      | heap allocation: `Box::new`, growth methods on std containers, `vec!`/`format!`, `.collect()`, `.to_owned()` family |
+//! | H2   | `hot-clone`      | `.clone()` of non-`Copy` types |
+//! | H3   | `hot-dyn`        | introducing `dyn` dispatch inside cone function bodies |
+//! | H4   | `hot-float`      | `f32`/`f64` outside `pagesim-stats` |
+//!
+//! Plus one workspace-wide soundness rule:
+//!
+//! | rule | id               | what it requires |
+//! |------|------------------|------------------|
+//! | U1   | `safety-comment` | every `unsafe` block carries a preceding `// SAFETY:` comment (vendored stand-ins exempt) |
 //!
 //! A finding can be waived in place with an annotation **carrying a
 //! reason**, on the same line or the line above:
@@ -26,26 +50,40 @@
 //! // lint: allow(hash-iter) drained under a sort before use
 //! ```
 //!
-//! An annotation without a reason does not suppress anything.
+//! An annotation without a reason does not suppress anything. Pre-existing
+//! H-series findings live in the ratcheted `lint-baseline.toml` instead
+//! (see [`baseline`]): baselined findings warn, new ones fail, and fixed
+//! ones must be removed from the baseline or the lint fails as stale.
 //!
 //! ## How it works
 //!
-//! The analyzer is a token-level pass, not a full type checker (the
-//! offline build has no `syn`): source is *scrubbed* — comments, string
-//! and char literals blanked byte-for-byte so line numbers survive —
-//! `#[cfg(test)]` items are stripped, and rules match against the
-//! remaining tokens. L1 tracks identifiers bound to `HashMap`/`HashSet`
-//! through declarations (`name: HashMap<…>`, `let name = HashMap::new()`)
-//! and flags iteration through those names. The pass is a tripwire, not a
-//! verifier: it can miss a hash container laundered through a type alias,
-//! but it catches the way this code is actually written — and the
-//! `sanitize` runtime feature backstops what the static pass cannot see.
+//! Source is *scrubbed* (comments/strings blanked byte-for-byte, see
+//! [`scrub`]), `#[cfg(test)]` items are stripped, a lightweight item
+//! parser ([`parse`]) extracts `fn`/`impl`/`use`/`struct` structure, and
+//! a name-resolved call graph ([`graph`]) computes the hot-path cone via
+//! BFS with parent pointers — so every cone finding renders its chain.
+//! The pass is a tripwire, not a verifier: resolution approximations are
+//! documented in DESIGN.md, and the `sanitize` runtime feature backstops
+//! what the static pass cannot see.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The six enforced rules.
+pub mod baseline;
+pub mod graph;
+pub mod parse;
+pub mod rules;
+pub mod sarif;
+mod scrub;
+
+pub use scrub::scrub;
+
+use graph::{Graph, Reach};
+use parse::ParsedFile;
+use scrub::{strip_cfg_test, LineIndex};
+
+/// The enforced rules.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Rule {
     /// L1: no iteration over hash-ordered containers in sim crates.
@@ -60,9 +98,34 @@ pub enum Rule {
     HotUnwrap,
     /// L6: no `catch_unwind` outside the sanctioned isolation module.
     CatchUnwind,
+    /// H1: no heap allocation in the fault/reclaim cone.
+    HotAlloc,
+    /// H2: no `.clone()` of non-`Copy` types in the cone.
+    HotClone,
+    /// H3: no `dyn` dispatch introduced inside cone function bodies.
+    HotDyn,
+    /// H4: no `f32`/`f64` in the cone outside `pagesim-stats`.
+    HotFloat,
+    /// U1: every `unsafe` block requires a `// SAFETY:` comment.
+    SafetyComment,
 }
 
 impl Rule {
+    /// Every rule, in catalog order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::ThreadSpawn,
+        Rule::LintHeader,
+        Rule::HotUnwrap,
+        Rule::CatchUnwind,
+        Rule::HotAlloc,
+        Rule::HotClone,
+        Rule::HotDyn,
+        Rule::HotFloat,
+        Rule::SafetyComment,
+    ];
+
     /// Short annotation id, as used in `// lint: allow(<id>) <reason>`.
     pub fn id(self) -> &'static str {
         match self {
@@ -72,10 +135,15 @@ impl Rule {
             Rule::LintHeader => "lint-header",
             Rule::HotUnwrap => "hot-unwrap",
             Rule::CatchUnwind => "catch-unwind",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::HotClone => "hot-clone",
+            Rule::HotDyn => "hot-dyn",
+            Rule::HotFloat => "hot-float",
+            Rule::SafetyComment => "safety-comment",
         }
     }
 
-    /// Stable rule code (`L1`..`L6`).
+    /// Stable rule code (`L1`..`L6`, `H1`..`H4`, `U1`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::HashIter => "L1",
@@ -84,8 +152,41 @@ impl Rule {
             Rule::LintHeader => "L4",
             Rule::HotUnwrap => "L5",
             Rule::CatchUnwind => "L6",
+            Rule::HotAlloc => "H1",
+            Rule::HotClone => "H2",
+            Rule::HotDyn => "H3",
+            Rule::HotFloat => "H4",
+            Rule::SafetyComment => "U1",
         }
     }
+
+    /// One-line description for the SARIF rule catalog.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::HashIter => "No iteration over hash-ordered containers in sim crates",
+            Rule::WallClock => "No wall-clock or ambient-entropy sources in sim crates",
+            Rule::ThreadSpawn => "No thread creation outside the deterministic sweep executor",
+            Rule::LintHeader => "Workspace members must opt into the deny-lint table",
+            Rule::HotUnwrap => "No unwrap/expect on SimError hot paths",
+            Rule::CatchUnwind => "No catch_unwind outside the sanctioned isolation module",
+            Rule::HotAlloc => "No heap allocation in the fault/reclaim cone",
+            Rule::HotClone => "No clone of non-Copy types in the fault/reclaim cone",
+            Rule::HotDyn => "No dyn dispatch introduced inside the fault/reclaim cone",
+            Rule::HotFloat => "No f32/f64 in the fault/reclaim cone outside pagesim-stats",
+            Rule::SafetyComment => "Every unsafe block requires a preceding SAFETY: comment",
+        }
+    }
+}
+
+/// One function hop along a root→…→construct call chain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChainHop {
+    /// `Owner::name` symbol of the function.
+    pub symbol: String,
+    /// Workspace-relative file the function is defined in.
+    pub file: String,
+    /// 1-based line of the function definition.
+    pub line: u32,
 }
 
 /// One rule violation at a source location.
@@ -100,6 +201,23 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Enclosing function symbol (`Owner::name`), when known.
+    pub symbol: String,
+    /// Hot-path call chain root→…→enclosing function, for cone findings.
+    pub chain: Vec<ChainHop>,
+}
+
+impl Finding {
+    fn new(rule: Rule, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line,
+            message,
+            symbol: String::new(),
+            chain: Vec::new(),
+        }
+    }
 }
 
 impl fmt::Display for Finding {
@@ -112,12 +230,18 @@ impl fmt::Display for Finding {
             self.file,
             self.line,
             self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            let path: Vec<&str> = self.chain.iter().map(|h| h.symbol.as_str()).collect();
+            write!(f, " [chain: {}]", path.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
-/// Which source rules apply to a file (L4 is manifest-level and handled
-/// separately by [`lint_workspace`]).
+/// Which source rules apply to a file (L4 is manifest-level, and the
+/// graph/H/U rules are workspace-level; all are handled by
+/// [`lint_workspace`]).
 #[derive(Clone, Copy, Default, Debug)]
 pub struct RuleSet {
     /// Apply L1 (`hash-iter`).
@@ -180,233 +304,6 @@ pub fn rules_for(crate_dir: &str, rel_path: &str) -> RuleSet {
 }
 
 // ---------------------------------------------------------------------
-// Source preparation
-// ---------------------------------------------------------------------
-
-/// Blanks comments, string literals, and char literals byte-for-byte,
-/// preserving newlines so scrubbed offsets map to the original lines.
-fn scrub(src: &str) -> Vec<u8> {
-    let b = src.as_bytes();
-    let n = b.len();
-    let mut out = Vec::with_capacity(n);
-    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
-    let mut i = 0;
-    while i < n {
-        let c = b[i];
-        // Line comment (also doc comments).
-        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
-            while i < n && b[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment, nested.
-        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
-            let mut depth = 0usize;
-            while i < n {
-                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
-                    depth += 1;
-                    out.extend([b' ', b' ']);
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
-                    depth -= 1;
-                    out.extend([b' ', b' ']);
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw (and raw byte) strings: r"…", r#"…"#, br"…".
-        if (c == b'r' || c == b'b') && !prev_is_ident(&out) {
-            let mut j = i;
-            if b[j] == b'b' && j + 1 < n && b[j + 1] == b'r' {
-                j += 1;
-            }
-            if b[j] == b'r' {
-                let mut k = j + 1;
-                let mut hashes = 0usize;
-                while k < n && b[k] == b'#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < n && b[k] == b'"' {
-                    // Blank the whole literal including the prefix.
-                    out.extend(std::iter::repeat_n(b' ', k - i + 1));
-                    i = k + 1;
-                    // Scan for `"` followed by `hashes` hashes.
-                    'raw: while i < n {
-                        if b[i] == b'"' {
-                            let mut h = 0usize;
-                            while h < hashes && i + 1 + h < n && b[i + 1 + h] == b'#' {
-                                h += 1;
-                            }
-                            if h == hashes {
-                                out.extend(std::iter::repeat_n(b' ', hashes + 1));
-                                i += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                    continue;
-                }
-            }
-        }
-        // Normal (and byte) strings.
-        if c == b'"' || (c == b'b' && i + 1 < n && b[i + 1] == b'"' && !prev_is_ident(&out)) {
-            if c == b'b' {
-                out.push(b' ');
-                i += 1;
-            }
-            out.push(b' ');
-            i += 1;
-            while i < n {
-                if b[i] == b'\\' && i + 1 < n {
-                    out.push(b' ');
-                    out.push(blank(b[i + 1]));
-                    i += 2;
-                } else if b[i] == b'"' {
-                    out.push(b' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == b'\'' {
-            if i + 1 < n && b[i + 1] == b'\\' {
-                // Escaped char literal: blank through the closing quote.
-                out.push(b' ');
-                i += 1;
-                while i < n && b[i] != b'\'' {
-                    if b[i] == b'\\' && i + 1 < n {
-                        out.push(b' ');
-                        out.push(blank(b[i + 1]));
-                        i += 2;
-                    } else {
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                }
-                if i < n {
-                    out.push(b' ');
-                    i += 1;
-                }
-                continue;
-            }
-            if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
-                out.extend([b' ', b' ', b' ']);
-                i += 3;
-                continue;
-            }
-            // Lifetime: blank the quote, keep the identifier.
-            out.push(b' ');
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-fn prev_is_ident(out: &[u8]) -> bool {
-    out.last()
-        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
-}
-
-/// Blanks every `#[cfg(test)]` item (test modules, test-only helpers) in
-/// scrubbed source: test code may iterate hashes or unwrap freely — it
-/// never feeds figure output.
-fn strip_cfg_test(scrubbed: &mut [u8]) {
-    const MARKER: &[u8] = b"#[cfg(test)]";
-    let mut i = 0;
-    while let Some(pos) = find_from(scrubbed, MARKER, i) {
-        let mut j = pos + MARKER.len();
-        // Blank from the attribute to the end of the annotated item: the
-        // matching close of its first brace, or a semicolon that comes
-        // first (e.g. a `use`).
-        let mut depth = 0usize;
-        let end;
-        loop {
-            if j >= scrubbed.len() {
-                end = scrubbed.len();
-                break;
-            }
-            match scrubbed[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        end = j + 1;
-                        break;
-                    }
-                }
-                b';' if depth == 0 => {
-                    end = j + 1;
-                    break;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        for byte in &mut scrubbed[pos..end] {
-            if *byte != b'\n' {
-                *byte = b' ';
-            }
-        }
-        i = end;
-    }
-}
-
-fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
-    if from >= hay.len() {
-        return None;
-    }
-    hay[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
-}
-
-/// Byte offsets where each line starts; `line_of` maps offsets to 1-based
-/// line numbers.
-struct LineIndex {
-    starts: Vec<usize>,
-}
-
-impl LineIndex {
-    fn new(text: &[u8]) -> LineIndex {
-        let mut starts = vec![0usize];
-        for (i, &c) in text.iter().enumerate() {
-            if c == b'\n' {
-                starts.push(i + 1);
-            }
-        }
-        LineIndex { starts }
-    }
-
-    fn line_of(&self, offset: usize) -> u32 {
-        match self.starts.binary_search(&offset) {
-            Ok(i) => i as u32 + 1,
-            Err(i) => i as u32,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
 // Allow annotations
 // ---------------------------------------------------------------------
 
@@ -432,11 +329,7 @@ fn allow_annotations(src: &str) -> BTreeMap<u32, Vec<(String, bool)>> {
     map
 }
 
-fn is_allowed(
-    annotations: &BTreeMap<u32, Vec<(String, bool)>>,
-    rule: Rule,
-    line: u32,
-) -> bool {
+fn is_allowed(annotations: &BTreeMap<u32, Vec<(String, bool)>>, rule: Rule, line: u32) -> bool {
     [line, line.saturating_sub(1)].iter().any(|l| {
         annotations
             .get(l)
@@ -444,313 +337,33 @@ fn is_allowed(
     })
 }
 
-// ---------------------------------------------------------------------
-// Token helpers
-// ---------------------------------------------------------------------
-
-fn is_ident_byte(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Offsets of whole-word occurrences of `word`.
-fn word_occurrences(text: &[u8], word: &str) -> Vec<usize> {
-    let w = word.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while let Some(pos) = find_from(text, w, i) {
-        let before_ok = pos == 0 || !is_ident_byte(text[pos - 1]);
-        let after = pos + w.len();
-        let after_ok = after >= text.len() || !is_ident_byte(text[after]);
-        if before_ok && after_ok {
-            out.push(pos);
-        }
-        i = pos + w.len();
-    }
-    out
-}
-
-/// The identifier ending immediately before `end` (skipping trailing
-/// whitespace), if any.
-fn ident_before(text: &[u8], end: usize) -> Option<String> {
-    let mut j = end;
-    while j > 0 && text[j - 1].is_ascii_whitespace() {
-        j -= 1;
-    }
-    let stop = j;
-    while j > 0 && is_ident_byte(text[j - 1]) {
-        j -= 1;
-    }
-    (j < stop).then(|| String::from_utf8_lossy(&text[j..stop]).into_owned())
-}
-
-/// Position just before any leading path prefix (`std::collections::`)
-/// ending at `pos`.
-fn skip_path_prefix(text: &[u8], mut pos: usize) -> usize {
-    loop {
-        let mut j = pos;
-        while j > 0 && text[j - 1].is_ascii_whitespace() {
-            j -= 1;
-        }
-        if j >= 2 && text[j - 1] == b':' && text[j - 2] == b':' {
-            let mut k = j - 2;
-            while k > 0 && text[k - 1].is_ascii_whitespace() {
-                k -= 1;
-            }
-            while k > 0 && is_ident_byte(text[k - 1]) {
-                k -= 1;
-            }
-            pos = k;
-        } else {
-            return j;
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule passes
-// ---------------------------------------------------------------------
-
-const ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
-    "retain",
-];
-
-/// L1: collect names bound to `HashMap`/`HashSet`, then flag iteration
-/// through them.
-fn check_hash_iter(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
-    let mut hash_names: Vec<String> = Vec::new();
-    for ty in ["HashMap", "HashSet"] {
-        for pos in word_occurrences(text, ty) {
-            let before = skip_path_prefix(text, pos);
-            if before == 0 {
-                continue;
-            }
-            let name = match text[before - 1] {
-                // `name: HashMap<…>` (field, param, or annotated let) —
-                // but not a path separator, which skip_path_prefix already
-                // consumed.
-                b':' if before < 2 || text[before - 2] != b':' => ident_before(text, before - 1),
-                // `name = HashMap::new()` / `let name = HashMap::new()`.
-                b'=' => ident_before(text, before - 1),
-                _ => None,
-            };
-            if let Some(name) = name {
-                if name != "let" && !hash_names.contains(&name) {
-                    hash_names.push(name);
-                }
-            }
-        }
-    }
-    if hash_names.is_empty() {
-        return;
-    }
-    // `name.iter()` and friends.
-    for method in ITER_METHODS {
-        for pos in word_occurrences(text, method) {
-            let after = pos + method.len();
-            let mut a = after;
-            while a < text.len() && text[a].is_ascii_whitespace() {
-                a += 1;
-            }
-            if a >= text.len() || text[a] != b'(' {
-                continue;
-            }
-            let mut j = pos;
-            while j > 0 && text[j - 1].is_ascii_whitespace() {
-                j -= 1;
-            }
-            if j == 0 || text[j - 1] != b'.' {
-                continue;
-            }
-            let Some(receiver) = ident_before(text, j - 1) else {
-                continue;
-            };
-            if hash_names.contains(&receiver) {
-                out.push(Finding {
-                    rule: Rule::HashIter,
-                    file: file.to_owned(),
-                    line: lines.line_of(pos),
-                    message: format!(
-                        "`{receiver}.{method}()` iterates a hash-ordered container; \
-                         use BTreeMap/BTreeSet or sort before iterating"
-                    ),
-                });
-            }
-        }
-    }
-    // `for … in <expr ending in a hash name> {`.
-    for pos in word_occurrences(text, "for") {
-        let Some(in_pos) = word_occurrences(&text[pos..], "in")
-            .first()
-            .map(|p| p + pos)
-        else {
-            continue;
-        };
-        let Some(brace) = find_from(text, b"{", in_pos) else {
-            continue;
-        };
-        let expr = &text[in_pos + 2..brace];
-        if expr.contains(&b'(') || expr.contains(&b'\n') && brace - in_pos > 200 {
-            continue;
-        }
-        let Some(last) = ident_before(text, brace) else {
-            continue;
-        };
-        if hash_names.contains(&last) {
-            out.push(Finding {
-                rule: Rule::HashIter,
-                file: file.to_owned(),
-                line: lines.line_of(pos),
-                message: format!(
-                    "`for … in {last}` iterates a hash-ordered container; \
-                     use BTreeMap/BTreeSet or sort before iterating"
-                ),
-            });
-        }
-    }
-}
-
-/// L2: ambient time/entropy tokens.
-fn check_wall_clock(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
-    // (needle, must_be_followed_by_path_sep, message)
-    let banned: &[(&str, &str)] = &[
-        ("SystemTime", "`std::time::SystemTime` is wall-clock state"),
-        ("thread_rng", "`thread_rng` draws OS entropy"),
-        ("RandomState", "`RandomState` seeds from OS entropy per process"),
-        ("OsRng", "`OsRng` draws OS entropy"),
-    ];
-    for (word, why) in banned {
-        for pos in word_occurrences(text, word) {
-            out.push(Finding {
-                rule: Rule::WallClock,
-                file: file.to_owned(),
-                line: lines.line_of(pos),
-                message: format!("{why}; sim results must be a pure function of the seed"),
-            });
-        }
-    }
-    // `Instant` only when it is std::time's: `Instant::now`, or a
-    // `std::time::Instant` path/import.
-    for pos in word_occurrences(text, "Instant") {
-        let after = pos + "Instant".len();
-        let is_now = text.get(after) == Some(&b':')
-            && find_from(text, b"now", after).is_some_and(|p| p <= after + 4);
-        let before = skip_path_prefix(text, pos);
-        let is_std_path = before < pos
-            && String::from_utf8_lossy(&text[before..pos]).contains("time");
-        if is_now || is_std_path {
-            out.push(Finding {
-                rule: Rule::WallClock,
-                file: file.to_owned(),
-                line: lines.line_of(pos),
-                message: "`std::time::Instant` is wall-clock state; use SimTime".to_owned(),
-            });
-        }
-    }
-}
-
-/// L3: thread creation.
-fn check_thread_spawn(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
-    for api in ["spawn", "scope", "Builder"] {
-        for pos in word_occurrences(text, api) {
-            let before = skip_path_prefix(text, pos);
-            if before >= pos {
-                continue; // bare `spawn`, not `thread::spawn`
-            }
-            let path = String::from_utf8_lossy(&text[before..pos]);
-            if path.contains("thread") {
-                out.push(Finding {
-                    rule: Rule::ThreadSpawn,
-                    file: file.to_owned(),
-                    line: lines.line_of(pos),
-                    message: format!(
-                        "`thread::{api}` outside pagesim-bench::sweep; all parallelism \
-                         must go through the deterministic sweep executor"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// L5: `.unwrap()`/`.expect()` on hot-path files.
-fn check_hot_unwrap(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
-    for method in ["unwrap", "expect"] {
-        for pos in word_occurrences(text, method) {
-            let mut j = pos;
-            while j > 0 && text[j - 1].is_ascii_whitespace() {
-                j -= 1;
-            }
-            if j == 0 || text[j - 1] != b'.' {
-                continue;
-            }
-            let mut a = pos + method.len();
-            while a < text.len() && text[a].is_ascii_whitespace() {
-                a += 1;
-            }
-            if a >= text.len() || text[a] != b'(' {
-                continue;
-            }
-            out.push(Finding {
-                rule: Rule::HotUnwrap,
-                file: file.to_owned(),
-                line: lines.line_of(pos),
-                message: format!(
-                    "`.{method}()` on a SimError hot path; propagate a typed error \
-                     so one bad cell cannot abort a figure sweep"
-                ),
-            });
-        }
-    }
-}
-
-/// L6: `catch_unwind` outside the sanctioned isolation module. Matches the
-/// bare identifier, so imports (`use std::panic::catch_unwind`), qualified
-/// paths, and calls all fire.
-fn check_catch_unwind(text: &[u8], lines: &LineIndex, file: &str, out: &mut Vec<Finding>) {
-    for pos in word_occurrences(text, "catch_unwind") {
-        out.push(Finding {
-            rule: Rule::CatchUnwind,
-            file: file.to_owned(),
-            line: lines.line_of(pos),
-            message: "`catch_unwind` outside the sweep executor's isolation module; \
-                      panic recovery must go through the one audited site"
-                .to_owned(),
-        });
-    }
-}
-
-/// Runs the applicable source rules over one file's contents.
+/// Runs the applicable per-file source rules over one file's contents.
 pub fn lint_source(rules: RuleSet, file: &str, source: &str) -> Vec<Finding> {
     let annotations = allow_annotations(source);
     let mut text = scrub(source);
     strip_cfg_test(&mut text);
     let lines = LineIndex::new(&text);
-    let mut found = Vec::new();
+    let mut constructs = Vec::new();
     if rules.hash_iter {
-        check_hash_iter(&text, &lines, file, &mut found);
+        constructs.extend(rules::detect_hash_iter(&text));
     }
     if rules.wall_clock {
-        check_wall_clock(&text, &lines, file, &mut found);
+        constructs.extend(rules::detect_wall_clock(&text));
     }
     if rules.thread_spawn {
-        check_thread_spawn(&text, &lines, file, &mut found);
+        constructs.extend(rules::detect_thread_spawn(&text));
     }
     if rules.hot_unwrap {
-        check_hot_unwrap(&text, &lines, file, &mut found);
+        constructs.extend(rules::detect_hot_unwrap(&text));
     }
     // lint: allow(catch-unwind) rule metadata field, not a panic catch
     if rules.catch_unwind {
-        check_catch_unwind(&text, &lines, file, &mut found);
+        constructs.extend(rules::detect_catch_unwind(&text));
     }
+    let mut found: Vec<Finding> = constructs
+        .into_iter()
+        .map(|c| Finding::new(c.rule, file, lines.line_of(c.offset), c.message))
+        .collect();
     found.retain(|f| !is_allowed(&annotations, f.rule, f.line));
     found.sort_by_key(|a| (a.line, a.rule));
     found
@@ -767,6 +380,10 @@ pub struct WorkspaceReport {
     pub findings: Vec<Finding>,
     /// Rust sources scanned.
     pub files_scanned: usize,
+    /// Functions in the call graph.
+    pub functions: usize,
+    /// Functions inside the hot-path cone.
+    pub reachable: usize,
 }
 
 /// L4: manifest checks — the root deny table and each member's opt-in.
@@ -774,14 +391,14 @@ fn check_manifests(root: &Path, crate_dirs: &[PathBuf], out: &mut Vec<Finding>) 
     let root_manifest = root.join("Cargo.toml");
     let root_text = std::fs::read_to_string(&root_manifest).unwrap_or_default();
     if !toml_section_has(&root_text, "[workspace.lints.rust]", "unsafe_code", "forbid") {
-        out.push(Finding {
-            rule: Rule::LintHeader,
-            file: "Cargo.toml".to_owned(),
-            line: 1,
-            message: "workspace root must define `[workspace.lints.rust]` with \
-                      `unsafe_code = \"forbid\"`"
+        out.push(Finding::new(
+            Rule::LintHeader,
+            "Cargo.toml",
+            1,
+            "workspace root must define `[workspace.lints.rust]` with \
+             `unsafe_code = \"forbid\"`"
                 .to_owned(),
-        });
+        ));
     }
     for dir in crate_dirs {
         let manifest = dir.join("Cargo.toml");
@@ -792,14 +409,14 @@ fn check_manifests(root: &Path, crate_dirs: &[PathBuf], out: &mut Vec<Finding>) 
                 .unwrap_or(&manifest)
                 .to_string_lossy()
                 .into_owned();
-            out.push(Finding {
-                rule: Rule::LintHeader,
-                file: rel,
-                line: 1,
-                message: "workspace member must opt into the deny-lint table with \
-                          `[lints] workspace = true`"
+            out.push(Finding::new(
+                Rule::LintHeader,
+                &rel,
+                1,
+                "workspace member must opt into the deny-lint table with \
+                 `[lints] workspace = true`"
                     .to_owned(),
-            });
+            ));
         }
     }
 }
@@ -850,9 +467,11 @@ fn rust_sources(dir: &Path) -> Vec<PathBuf> {
 }
 
 /// Scans the whole workspace rooted at `root`: every member under
-/// `crates/*` plus the umbrella `src/`, applying [`rules_for`] per file
-/// and the L4 manifest checks. `vendor/*` stand-ins are external code and
-/// are skipped.
+/// `crates/*` plus the umbrella `src/`. Runs the per-file rules
+/// ([`rules_for`]) and L4 manifest checks, then parses every file, builds
+/// the workspace call graph, and applies the graph rules: transitive
+/// L1/L2 with chains, the H-series in the hot-path cone, and U1
+/// everywhere. `vendor/*` stand-ins are external code and are skipped.
 pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
     let mut report = WorkspaceReport::default();
     let crates_dir = root.join("crates");
@@ -863,34 +482,121 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
         .collect();
     crate_dirs.sort();
     check_manifests(root, &crate_dirs, &mut report.findings);
-    let mut scan = |crate_dir: &str, src_dir: &Path| {
-        for path in rust_sources(src_dir) {
-            let rel = path
-                .strip_prefix(root)
-                .unwrap_or(&path)
-                .to_string_lossy()
-                .replace('\\', "/");
-            let rules = rules_for(crate_dir, &rel);
-            let Ok(source) = std::fs::read_to_string(&path) else {
-                continue;
-            };
-            report.files_scanned += 1;
-            report.findings.extend(lint_source(rules, &rel, &source));
+
+    // Pass 1: read + per-file rules + parse.
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    let mut annotations: Vec<BTreeMap<u32, Vec<(String, bool)>>> = Vec::new();
+    let mut per_file: Vec<Finding> = Vec::new();
+    {
+        let mut scan = |crate_dir: &str, src_dir: &Path| {
+            for path in rust_sources(src_dir) {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let rules = rules_for(crate_dir, &rel);
+                let Ok(source) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                report.files_scanned += 1;
+                per_file.extend(lint_source(rules, &rel, &source));
+                let mut text = scrub(&source);
+                strip_cfg_test(&mut text);
+                let ann = allow_annotations(&source);
+                // U1 applies to every workspace crate (vendor/ unscanned).
+                let lines = LineIndex::new(&text);
+                for c in rules::detect_missing_safety(&text, &lines, &source) {
+                    let line = lines.line_of(c.offset);
+                    if !is_allowed(&ann, c.rule, line) {
+                        per_file.push(Finding::new(c.rule, &rel, line, c.message));
+                    }
+                }
+                parsed.push(parse::parse_file(&rel, crate_dir, text));
+                annotations.push(ann);
+            }
+        };
+        for dir in &crate_dirs {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            scan(&name, &dir.join("src"));
         }
-    };
-    for dir in &crate_dirs {
-        let name = dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        // Scan everything shipped by the crate: src/, tests/ and benches/
-        // are covered by the test-module stripper only when inline, so
-        // integration tests get the thread/entropy rules too — except the
-        // dedicated tests/ trees, which legitimately compare wall-clock
-        // speedups. Scanning src/ only keeps the signal crisp.
-        scan(&name, &dir.join("src"));
+        scan("repro-umbrella", &root.join("src"));
     }
-    scan("repro-umbrella", &root.join("src"));
+
+    // Pass 2: call graph + cone rules.
+    let g = Graph::build(&parsed);
+    let reach = Reach::compute(&g);
+    report.functions = g.nodes.len();
+    report.reachable = reach.seen.iter().filter(|&&s| s).count();
+    let line_indexes: Vec<LineIndex> = parsed.iter().map(|p| LineIndex::new(&p.text)).collect();
+    // L1/L2 constructs per file, computed once and attributed to cone fns.
+    let mut l12_cache: BTreeMap<usize, Vec<rules::Construct>> = BTreeMap::new();
+    let mut graph_findings: Vec<Finding> = Vec::new();
+    for ni in 0..g.nodes.len() {
+        if !reach.seen[ni] {
+            continue;
+        }
+        let fi = g.nodes[ni].file;
+        let pf = &parsed[fi];
+        let fd = &pf.fns[g.nodes[ni].fn_idx];
+        let Some((_, body_end)) = fd.body else {
+            continue;
+        };
+        let lines = &line_indexes[fi];
+        let chain: Vec<ChainHop> = reach
+            .chain(ni)
+            .into_iter()
+            .map(|n| {
+                let def = g.def(&parsed, n);
+                ChainHop {
+                    symbol: g.nodes[n].symbol.clone(),
+                    file: parsed[g.nodes[n].file].rel.clone(),
+                    line: def.line,
+                }
+            })
+            .collect();
+        let l12 = l12_cache.entry(fi).or_insert_with(|| {
+            let mut v = rules::detect_hash_iter(&pf.text);
+            v.extend(rules::detect_wall_clock(&pf.text));
+            v
+        });
+        let mut constructs: Vec<rules::Construct> = l12
+            .iter()
+            .filter(|c| c.offset >= fd.sig.0 && c.offset < body_end)
+            .cloned()
+            .collect();
+        constructs.extend(rules::detect_hot_constructs(&g, &parsed, ni));
+        for c in constructs {
+            let line = lines.line_of(c.offset);
+            if is_allowed(&annotations[fi], c.rule, line) {
+                continue;
+            }
+            graph_findings.push(Finding {
+                rule: c.rule,
+                file: pf.rel.clone(),
+                line,
+                message: c.message,
+                symbol: g.nodes[ni].symbol.clone(),
+                chain: chain.clone(),
+            });
+        }
+    }
+
+    // Merge: graph findings (with symbol + chain) win over per-file
+    // duplicates at the same (file, line, rule).
+    let mut merged: BTreeMap<(String, u32, Rule), Finding> = BTreeMap::new();
+    for f in per_file {
+        merged.insert((f.file.clone(), f.line, f.rule), f);
+    }
+    for f in graph_findings {
+        merged.insert((f.file.clone(), f.line, f.rule), f);
+    }
+    // H4 fires once per float token; collapse duplicates per line (the
+    // merge key already does this).
+    report.findings.extend(merged.into_values());
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -954,7 +660,8 @@ mod tests {
         let with_reason = "fn f() { let t = std::time::SystemTime::now(); } \
                            // lint: allow(wall-clock) host timing printed to stderr only\n";
         assert!(lint_source(SIM, "x.rs", with_reason).is_empty());
-        let without = "fn f() { let t = std::time::SystemTime::now(); } // lint: allow(wall-clock)\n";
+        let without =
+            "fn f() { let t = std::time::SystemTime::now(); } // lint: allow(wall-clock)\n";
         assert_eq!(lint_source(SIM, "x.rs", without).len(), 1);
     }
 
@@ -987,5 +694,17 @@ mod tests {
         assert!(toml_section_has(toml, "[lints]", "workspace", "true"));
         assert!(!toml_section_has(toml, "[lints]", "workspace", "false"));
         assert!(!toml_section_has("[package]\n", "[lints]", "workspace", "true"));
+    }
+
+    #[test]
+    fn rule_codes_and_ids_are_stable() {
+        let codes: Vec<&str> = Rule::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["L1", "L2", "L3", "L4", "L5", "L6", "H1", "H2", "H3", "H4", "U1"]
+        );
+        for r in Rule::ALL {
+            assert!(!r.id().is_empty() && !r.describe().is_empty());
+        }
     }
 }

@@ -1,24 +1,36 @@
 //! `pagesim-lint` CLI: the workspace determinism/soundness gate.
 //!
 //! ```text
-//! pagesim-lint --workspace [--root DIR]      # scan a pagesim workspace
+//! pagesim-lint --workspace [--root DIR] [--format text|sarif]
+//!              [--baseline FILE | --no-baseline] [--write-baseline]
 //! pagesim-lint --check-file F [--as-crate C] [--hot]   # lint one file
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! Workspace mode screens findings against the ratchet baseline
+//! (`<root>/lint-baseline.toml` when present): baselined findings warn,
+//! new findings and stale entries fail. `--write-baseline` regenerates
+//! the baseline from the current findings, preserving existing reasons.
+//!
+//! Exit codes: `0` clean (warnings allowed), `1` findings or stale
+//! baseline, `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pagesim_lint::{lint_source, lint_workspace, rules_for, RuleSet};
+use pagesim_lint::{baseline, lint_source, lint_workspace, rules_for, sarif, RuleSet};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: pagesim-lint --workspace [--root DIR]\n\
+        "usage: pagesim-lint --workspace [--root DIR] [--format text|sarif]\n\
+         \x20                 [--baseline FILE | --no-baseline] [--write-baseline]\n\
          \x20      pagesim-lint --check-file FILE [--as-crate CRATE] [--hot]\n\
          \n\
          --workspace        scan crates/* and src/ under the workspace root\n\
          --root DIR         workspace root (default: current directory)\n\
+         --format FMT       output format: text (default) or sarif\n\
+         --baseline FILE    ratchet baseline (default: ROOT/lint-baseline.toml if present)\n\
+         --no-baseline      ignore any baseline; all findings are errors\n\
+         --write-baseline   regenerate the baseline file from current findings\n\
          --check-file FILE  lint a single source file\n\
          --as-crate CRATE   crate dir name FILE should be judged as (default: core)\n\
          --hot              additionally apply the hot-path unwrap rule (L5)"
@@ -33,6 +45,10 @@ fn main() -> ExitCode {
     let mut check_file: Option<PathBuf> = None;
     let mut as_crate = String::from("core");
     let mut hot = false;
+    let mut format = String::from("text");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -42,6 +58,16 @@ fn main() -> ExitCode {
                 Some(dir) => root = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--format" => match it.next() {
+                Some(f) if f == "text" || f == "sarif" => format = f.clone(),
+                _ => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(f) => baseline_path = Some(PathBuf::from(f)),
+                None => return usage(),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
             "--check-file" => match it.next() {
                 Some(f) => check_file = Some(PathBuf::from(f)),
                 None => return usage(),
@@ -63,23 +89,11 @@ fn main() -> ExitCode {
         // Exactly one mode must be selected.
         return usage();
     }
+    if no_baseline && baseline_path.is_some() {
+        return usage();
+    }
 
-    let findings = if workspace {
-        match lint_workspace(&root) {
-            Ok(report) => {
-                eprintln!(
-                    "pagesim-lint: scanned {} files, {} finding(s)",
-                    report.files_scanned,
-                    report.findings.len()
-                );
-                report.findings
-            }
-            Err(e) => {
-                eprintln!("pagesim-lint: cannot scan {}: {e}", root.display());
-                return ExitCode::from(2);
-            }
-        }
-    } else {
+    if !workspace {
         let path = check_file.expect("mode checked above");
         let source = match std::fs::read_to_string(&path) {
             Ok(s) => s,
@@ -96,13 +110,101 @@ fn main() -> ExitCode {
                 ..rules
             };
         }
-        lint_source(rules, &rel, &source)
+        let findings = lint_source(rules, &rel, &source);
+        for f in &findings {
+            println!("{f}");
+        }
+        return if findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("pagesim-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
     };
 
-    for f in &findings {
-        println!("{f}");
+    // Resolve + parse the baseline. `--no-baseline` screens against an
+    // empty one, so every finding is an error.
+    let resolved = if no_baseline {
+        None
+    } else {
+        match baseline_path {
+            Some(p) => Some(p),
+            None => {
+                let default = root.join("lint-baseline.toml");
+                default.exists().then_some(default)
+            }
+        }
+    };
+    let base = match &resolved {
+        None => baseline::Baseline::default(),
+        // A baseline that doesn't exist yet is fine when regenerating it.
+        Some(p) if write_baseline && !p.exists() => baseline::Baseline::default(),
+        Some(p) => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("pagesim-lint: cannot read baseline {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("pagesim-lint: bad baseline {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    if write_baseline {
+        let out = resolved.unwrap_or_else(|| root.join("lint-baseline.toml"));
+        let text = baseline::render(&report.findings, &base);
+        if let Err(e) = std::fs::write(&out, text) {
+            eprintln!("pagesim-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "pagesim-lint: wrote {} ({} finding(s) baselined)",
+            out.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
     }
-    if findings.is_empty() {
+
+    let screened = baseline::screen(report.findings, &base);
+    match format.as_str() {
+        "sarif" => print!("{}", sarif::render(&screened.errors, &screened.warnings)),
+        _ => {
+            for f in &screened.errors {
+                println!("{f}");
+            }
+            for f in &screened.warnings {
+                println!("warning: {f}");
+            }
+            for s in &screened.stale {
+                println!("{s}");
+            }
+        }
+    }
+    eprintln!(
+        "pagesim-lint: scanned {} files ({} fns, {} hot), {} error(s), \
+         {} baselined warning(s), {} stale",
+        report.files_scanned,
+        report.functions,
+        report.reachable,
+        screened.errors.len(),
+        screened.warnings.len(),
+        screened.stale.len()
+    );
+    if screened.errors.is_empty() && screened.stale.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

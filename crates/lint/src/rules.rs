@@ -1,0 +1,484 @@
+//! Rule passes: the construct detectors behind L1–L6, the graph-scoped
+//! H-series hot-path hygiene rules, and U1 safety-comment enforcement.
+//!
+//! Detectors emit [`Construct`]s — `(rule, byte offset, message)` — so the
+//! same detection logic serves both the per-file pass (offsets → lines)
+//! and the call-graph pass (offsets → enclosing function → chain).
+
+use crate::graph::Graph;
+use crate::parse::ParsedFile;
+use crate::scrub::{
+    find_from, ident_before, is_ident_byte, next_nonws, prev_nonws, skip_path_prefix,
+    word_occurrences, LineIndex,
+};
+use crate::Rule;
+
+/// One detected forbidden construct, positioned by byte offset into the
+/// scrubbed text.
+#[derive(Clone, Debug)]
+pub struct Construct {
+    /// Which rule the construct violates.
+    pub rule: Rule,
+    /// Byte offset in the scrubbed text.
+    pub offset: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// L1: collect names bound to `HashMap`/`HashSet`, then flag iteration
+/// through them.
+pub fn detect_hash_iter(text: &[u8]) -> Vec<Construct> {
+    let mut out = Vec::new();
+    let mut hash_names: Vec<String> = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for pos in word_occurrences(text, ty) {
+            let before = skip_path_prefix(text, pos);
+            if before == 0 {
+                continue;
+            }
+            let name = match text[before - 1] {
+                // `name: HashMap<…>` (field, param, or annotated let) —
+                // but not a path separator, which skip_path_prefix already
+                // consumed.
+                b':' if before < 2 || text[before - 2] != b':' => ident_before(text, before - 1),
+                // `name = HashMap::new()` / `let name = HashMap::new()`.
+                b'=' => ident_before(text, before - 1),
+                _ => None,
+            };
+            if let Some(name) = name {
+                if name != "let" && !hash_names.contains(&name) {
+                    hash_names.push(name);
+                }
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return out;
+    }
+    // `name.iter()` and friends.
+    for method in ITER_METHODS {
+        for pos in word_occurrences(text, method) {
+            let after = pos + method.len();
+            let mut a = after;
+            while a < text.len() && text[a].is_ascii_whitespace() {
+                a += 1;
+            }
+            if a >= text.len() || text[a] != b'(' {
+                continue;
+            }
+            let mut j = pos;
+            while j > 0 && text[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j == 0 || text[j - 1] != b'.' {
+                continue;
+            }
+            let Some(receiver) = ident_before(text, j - 1) else {
+                continue;
+            };
+            if hash_names.contains(&receiver) {
+                out.push(Construct {
+                    rule: Rule::HashIter,
+                    offset: pos,
+                    message: format!(
+                        "`{receiver}.{method}()` iterates a hash-ordered container; \
+                         use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                });
+            }
+        }
+    }
+    // `for … in <expr ending in a hash name> {`.
+    for pos in word_occurrences(text, "for") {
+        let Some(in_pos) = word_occurrences(&text[pos..], "in")
+            .first()
+            .map(|p| p + pos)
+        else {
+            continue;
+        };
+        let Some(brace) = find_from(text, b"{", in_pos) else {
+            continue;
+        };
+        let expr = &text[in_pos + 2..brace];
+        if expr.contains(&b'(') || expr.contains(&b'\n') && brace - in_pos > 200 {
+            continue;
+        }
+        let Some(last) = ident_before(text, brace) else {
+            continue;
+        };
+        if hash_names.contains(&last) {
+            out.push(Construct {
+                rule: Rule::HashIter,
+                offset: pos,
+                message: format!(
+                    "`for … in {last}` iterates a hash-ordered container; \
+                     use BTreeMap/BTreeSet or sort before iterating"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// L2: ambient time/entropy tokens.
+pub fn detect_wall_clock(text: &[u8]) -> Vec<Construct> {
+    let mut out = Vec::new();
+    let banned: &[(&str, &str)] = &[
+        ("SystemTime", "`std::time::SystemTime` is wall-clock state"),
+        ("thread_rng", "`thread_rng` draws OS entropy"),
+        ("RandomState", "`RandomState` seeds from OS entropy per process"),
+        ("OsRng", "`OsRng` draws OS entropy"),
+    ];
+    for (word, why) in banned {
+        for pos in word_occurrences(text, word) {
+            out.push(Construct {
+                rule: Rule::WallClock,
+                offset: pos,
+                message: format!("{why}; sim results must be a pure function of the seed"),
+            });
+        }
+    }
+    // `Instant` only when it is std::time's: `Instant::now`, or a
+    // `std::time::Instant` path/import.
+    for pos in word_occurrences(text, "Instant") {
+        let after = pos + "Instant".len();
+        let is_now = text.get(after) == Some(&b':')
+            && find_from(text, b"now", after).is_some_and(|p| p <= after + 4);
+        let before = skip_path_prefix(text, pos);
+        let is_std_path =
+            before < pos && String::from_utf8_lossy(&text[before..pos]).contains("time");
+        if is_now || is_std_path {
+            out.push(Construct {
+                rule: Rule::WallClock,
+                offset: pos,
+                message: "`std::time::Instant` is wall-clock state; use SimTime".to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// L3: thread creation.
+pub fn detect_thread_spawn(text: &[u8]) -> Vec<Construct> {
+    let mut out = Vec::new();
+    for api in ["spawn", "scope", "Builder"] {
+        for pos in word_occurrences(text, api) {
+            let before = skip_path_prefix(text, pos);
+            if before >= pos {
+                continue; // bare `spawn`, not `thread::spawn`
+            }
+            let path = String::from_utf8_lossy(&text[before..pos]);
+            if path.contains("thread") {
+                out.push(Construct {
+                    rule: Rule::ThreadSpawn,
+                    offset: pos,
+                    message: format!(
+                        "`thread::{api}` outside pagesim-bench::sweep; all parallelism \
+                         must go through the deterministic sweep executor"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L5: `.unwrap()`/`.expect()` on hot-path files.
+pub fn detect_hot_unwrap(text: &[u8]) -> Vec<Construct> {
+    let mut out = Vec::new();
+    for method in ["unwrap", "expect"] {
+        for pos in word_occurrences(text, method) {
+            let mut j = pos;
+            while j > 0 && text[j - 1].is_ascii_whitespace() {
+                j -= 1;
+            }
+            if j == 0 || text[j - 1] != b'.' {
+                continue;
+            }
+            let mut a = pos + method.len();
+            while a < text.len() && text[a].is_ascii_whitespace() {
+                a += 1;
+            }
+            if a >= text.len() || text[a] != b'(' {
+                continue;
+            }
+            out.push(Construct {
+                rule: Rule::HotUnwrap,
+                offset: pos,
+                message: format!(
+                    "`.{method}()` on a SimError hot path; propagate a typed error \
+                     so one bad cell cannot abort a figure sweep"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// L6: `catch_unwind` outside the sanctioned isolation module. Matches the
+/// bare identifier, so imports (`use std::panic::catch_unwind`), qualified
+/// paths, and calls all fire.
+pub fn detect_catch_unwind(text: &[u8]) -> Vec<Construct> {
+    word_occurrences(text, "catch_unwind")
+        .into_iter()
+        .map(|pos| Construct {
+            rule: Rule::CatchUnwind,
+            offset: pos,
+            message: "`catch_unwind` outside the sweep executor's isolation module; \
+                      panic recovery must go through the one audited site"
+                .to_owned(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// H-series: hot-path hygiene, scoped to the fault/reclaim cone
+// ---------------------------------------------------------------------
+
+/// Std containers whose growth methods allocate.
+const STD_GROWABLE: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "String",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "BinaryHeap",
+];
+
+/// Methods that allocate regardless of receiver.
+const ALWAYS_ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "collect", "into_owned"];
+
+/// Growth methods that allocate when the receiver is a std container.
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "append",
+    "reserve",
+    "reserve_exact",
+    "push_str",
+];
+
+/// Type-qualified constructors that allocate.
+const ALLOC_CTORS: &[(&str, &[&str])] = &[
+    ("Box", &["new"]),
+    ("Rc", &["new"]),
+    ("Arc", &["new"]),
+    ("Vec", &["with_capacity", "from"]),
+    ("VecDeque", &["with_capacity", "from"]),
+    ("String", &["with_capacity", "from"]),
+];
+
+/// Crates exempt from H4 — floats are allowed to live in the stats layer.
+const FLOAT_EXEMPT_CRATES: &[&str] = &["stats"];
+
+/// H1–H4 constructs inside one cone function (node `ni`).
+pub fn detect_hot_constructs(g: &Graph, files: &[ParsedFile], ni: usize) -> Vec<Construct> {
+    let node_file = g.nodes[ni].file;
+    let pf = &files[node_file];
+    let fd = &pf.fns[g.nodes[ni].fn_idx];
+    let env = &g.envs[ni];
+    let mut out = Vec::new();
+    let Some((b0, b1)) = fd.body else {
+        return out;
+    };
+    let b1 = b1.min(pf.text.len());
+    let text = &pf.text;
+
+    // H1 method calls + H2 clones: walk call sites in the body.
+    let mut i = b0;
+    while i < b1 {
+        let c = text[i];
+        if !is_ident_byte(c) || c.is_ascii_digit() || (i > 0 && is_ident_byte(text[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        while j < b1 && is_ident_byte(text[j]) {
+            j += 1;
+        }
+        i = j;
+        let word = String::from_utf8_lossy(&text[start..j]).into_owned();
+        let Some((_, after)) = next_nonws(text, j) else {
+            continue;
+        };
+        if after == b'!' {
+            // Allocating macros.
+            if word == "vec" || word == "format" {
+                out.push(Construct {
+                    rule: Rule::HotAlloc,
+                    offset: start,
+                    message: format!(
+                        "`{word}!` allocates on the fault/reclaim path; \
+                         preallocate or reuse a scratch buffer"
+                    ),
+                });
+            }
+            continue;
+        }
+        if after != b'(' {
+            continue;
+        }
+        let is_method = matches!(prev_nonws(text, start), Some((_, b'.')));
+        if is_method {
+            if ALWAYS_ALLOC_METHODS.contains(&word.as_str()) {
+                out.push(Construct {
+                    rule: Rule::HotAlloc,
+                    offset: start,
+                    message: format!(
+                        "`.{word}()` allocates an owned value on the fault/reclaim path"
+                    ),
+                });
+                continue;
+            }
+            let recv = |g: &Graph| {
+                let (p, _) = prev_nonws(text, start)?;
+                g.chain_type(pf, env, fd, text, p)
+            };
+            if GROWTH_METHODS.contains(&word.as_str()) {
+                if let Some(t) = recv(g) {
+                    if STD_GROWABLE.contains(&t.as_str()) {
+                        out.push(Construct {
+                            rule: Rule::HotAlloc,
+                            offset: start,
+                            message: format!(
+                                "`.{word}()` on a `{t}` may (re)allocate on the \
+                                 fault/reclaim path; preallocate or use a fixed structure"
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+            if word == "clone" {
+                if let Some(t) = recv(g) {
+                    if !g.is_copy(&t) {
+                        out.push(Construct {
+                            rule: Rule::HotClone,
+                            offset: start,
+                            message: format!(
+                                "`.clone()` of non-Copy `{t}` on the fault/reclaim path; \
+                                 borrow or restructure ownership instead"
+                            ),
+                        });
+                    }
+                }
+                continue;
+            }
+        } else if let Some((p, b':')) = prev_nonws(text, start) {
+            // `Qual::word(…)` allocating constructors.
+            if p > 0 && text[p - 1] == b':' {
+                if let Some(qual) = ident_before(text, p - 1) {
+                    for (ty, ctors) in ALLOC_CTORS {
+                        if qual == *ty && ctors.contains(&word.as_str()) {
+                            out.push(Construct {
+                                rule: Rule::HotAlloc,
+                                offset: start,
+                                message: format!(
+                                    "`{qual}::{word}` allocates on the fault/reclaim path"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // H3: `dyn` introduced inside a cone function body (signatures carry
+    // pre-existing trait-object params and are exempt).
+    for pos in word_occurrences(&text[b0..b1], "dyn") {
+        out.push(Construct {
+            rule: Rule::HotDyn,
+            offset: b0 + pos,
+            message: "`dyn` dispatch introduced inside the fault/reclaim cone; \
+                      use the statically-dispatched form"
+                .to_owned(),
+        });
+    }
+
+    // H4: float types/arithmetic anywhere in the signature or body, outside
+    // the stats crate.
+    if !FLOAT_EXEMPT_CRATES.contains(&pf.crate_dir.as_str()) {
+        let lo = fd.sig.0;
+        for ty in ["f32", "f64"] {
+            for pos in word_occurrences(&text[lo..b1], ty) {
+                out.push(Construct {
+                    rule: Rule::HotFloat,
+                    offset: lo + pos,
+                    message: format!(
+                        "`{ty}` in kernel sim state reachable from the hot path; \
+                         floats stay confined to pagesim-stats (fixed-point otherwise)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// U1: SAFETY comments on unsafe blocks
+// ---------------------------------------------------------------------
+
+/// U1: every `unsafe` block needs a `// SAFETY:` comment on the same line
+/// or in the comment run immediately above. Detection runs on scrubbed
+/// text (so `unsafe` in strings/comments never fires); the SAFETY lookup
+/// reads the *original* source, where comments still exist.
+pub(crate) fn detect_missing_safety(text: &[u8], lines: &LineIndex, src: &str) -> Vec<Construct> {
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for pos in word_occurrences(text, "unsafe") {
+        let Some((_, nc)) = next_nonws(text, pos + "unsafe".len()) else {
+            continue;
+        };
+        if nc != b'{' {
+            continue; // `unsafe fn`/`unsafe impl` signatures are L4's domain
+        }
+        let line = lines.line_of(pos); // 1-based
+        let mut justified = src_lines
+            .get(line as usize - 1)
+            .is_some_and(|l| l.contains("SAFETY:"));
+        // Walk up through the immediately-preceding comment/attribute run.
+        let mut k = line as usize - 1; // index of the unsafe line
+        while !justified && k > 0 {
+            let above = src_lines[k - 1].trim();
+            if above.starts_with("//") || above.starts_with("#[") || above.is_empty() {
+                if above.contains("SAFETY:") {
+                    justified = true;
+                }
+                k -= 1;
+            } else {
+                break;
+            }
+        }
+        if !justified {
+            out.push(Construct {
+                rule: Rule::SafetyComment,
+                offset: pos,
+                message: "`unsafe` block without a preceding `// SAFETY:` comment \
+                          stating the invariant that makes it sound"
+                    .to_owned(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,121 @@
+//! Call-graph pass coverage: transitive rule propagation with exact
+//! chains, H-series cone scoping, and U1 — all against seeded fixture
+//! workspaces.
+
+use std::path::{Path, PathBuf};
+
+use pagesim_lint::{lint_source, lint_workspace, rules_for, Finding, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn chain_symbols(f: &Finding) -> Vec<&str> {
+    f.chain.iter().map(|h| h.symbol.as_str()).collect()
+}
+
+/// The acceptance demo: `Kernel::fault` (sim crate) calls `helper_a`
+/// (util crate), which calls `helper_b`, which reads `Instant::now()`.
+/// The per-file scanner never applies L2 to the util crate, so it
+/// provably misses the violation; the graph pass reports it with the
+/// full two-deep chain.
+#[test]
+fn transitive_l2_crosses_crates_the_per_file_scan_cannot() {
+    // Old behavior: per-file rules for a non-sim crate are L2-blind.
+    let util_src = std::fs::read_to_string(
+        fixture("trans_l2_ws").join("crates/util/src/lib.rs"),
+    )
+    .expect("fixture readable");
+    let rules = rules_for("util", "crates/util/src/lib.rs");
+    assert!(!rules.wall_clock, "util is not a sim crate");
+    assert_eq!(
+        lint_source(rules, "crates/util/src/lib.rs", &util_src),
+        vec![],
+        "the per-file scanner misses the transitive violation"
+    );
+
+    // New behavior: the workspace graph pass reports it with the chain.
+    let report = lint_workspace(&fixture("trans_l2_ws")).expect("fixture workspace");
+    assert_eq!(report.findings.len(), 1, "findings: {:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::WallClock);
+    assert_eq!(f.file, "crates/util/src/lib.rs");
+    assert_eq!(f.line, 10);
+    assert_eq!(f.symbol, "helper_b");
+    assert_eq!(chain_symbols(f), vec!["Kernel::fault", "helper_a", "helper_b"]);
+    // Chain hops carry file/line anchors for every hop.
+    assert_eq!(f.chain[0].file, "crates/core/src/lib.rs");
+    assert!(f.chain.iter().all(|h| h.line > 0));
+    // And the rendering shows the chain for humans and CI greps.
+    assert!(
+        f.to_string()
+            .ends_with("[chain: Kernel::fault -> helper_a -> helper_b]"),
+        "display: {f}"
+    );
+}
+
+#[test]
+fn h_series_fires_inside_the_cone_only() {
+    let report = lint_workspace(&fixture("hot_ws")).expect("fixture workspace");
+    let got: Vec<(Rule, u32, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.line, f.symbol.as_str()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (Rule::HotAlloc, 12, "Kernel::fault"),
+            (Rule::HotClone, 13, "Kernel::fault"),
+            (Rule::HotDyn, 20, "Kernel::pick"),
+            (Rule::HotAlloc, 33, "helper"),
+            (Rule::HotFloat, 38, "ratio"),
+        ]
+    );
+    // `cold_setup` (lines 24-29) repeats the push/clone/vec! constructs
+    // outside the cone: none may appear above.
+    assert!(report.findings.iter().all(|f| !(24..=29).contains(&f.line)));
+    // Chains are anchored at the root.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.chain.first().map(|h| h.symbol.as_str()) == Some("Kernel::fault")));
+}
+
+#[test]
+fn u1_requires_safety_comments_on_unsafe_blocks() {
+    let report = lint_workspace(&fixture("u1_ws")).expect("fixture workspace");
+    let got: Vec<(Rule, u32)> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    // Lines 6 (comment-run above) and 10 (same-line) are justified;
+    // 14 (no comment) and 19 (comment without SAFETY:) are not.
+    assert_eq!(
+        got,
+        vec![(Rule::SafetyComment, 14), (Rule::SafetyComment, 19)]
+    );
+}
+
+/// Scrubber regression fixture: banned tokens inside every string-literal
+/// flavor (raw, fenced, byte, C-string, raw C-string) and nested block
+/// comments must not fire, while the real violation after them still
+/// fires at its exact line — proving the scrubber never lost alignment.
+#[test]
+fn scrubber_survives_raw_strings_c_strings_and_nested_comments() {
+    let src = std::fs::read_to_string(fixture("scrub_tricky.rs")).expect("fixture readable");
+    let rules = rules_for("core", "crates/core/src/tricky.rs");
+    let got: Vec<(Rule, u32)> = lint_source(rules, "scrub_tricky.rs", &src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    assert_eq!(got, vec![(Rule::WallClock, 41), (Rule::WallClock, 42)]);
+}
+
+/// The graph pass adds no findings (and no noise) to a workspace with no
+/// hot roots: the legacy L4 fixture keeps its exact legacy behavior.
+#[test]
+fn rootless_workspace_gets_no_graph_findings() {
+    let report = lint_workspace(&fixture("l4_good_ws")).expect("fixture workspace");
+    assert_eq!(report.findings, vec![]);
+    assert_eq!(report.reachable, 0);
+}

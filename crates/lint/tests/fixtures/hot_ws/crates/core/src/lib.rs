@@ -1,0 +1,40 @@
+//! Fixture: the H-series rules fire only inside the hot-path cone.
+
+pub struct Name(pub u64);
+
+pub struct Kernel {
+    log: Vec<u64>,
+    name: Name,
+}
+
+impl Kernel {
+    pub fn fault(&mut self, vpn: u64) {
+        self.log.push(vpn);
+        let label = self.name.clone();
+        helper(&label);
+        let r = ratio(vpn) + self.pick();
+        drop(r);
+    }
+
+    fn pick(&self) -> u64 {
+        let f: &dyn Fn() -> u64 = &|| 7;
+        f()
+    }
+
+    pub fn cold_setup(&mut self) {
+        self.log.push(0);
+        let _ = self.name.clone();
+        let v = vec![1u64, 2];
+        drop(v);
+    }
+}
+
+fn helper(n: &Name) {
+    let v = vec![n.0];
+    drop(v);
+}
+
+fn ratio(x: u64) -> u64 {
+    let f = x as f64 / 2.0;
+    f as u64
+}

@@ -1,0 +1,43 @@
+//! Fixture: scrubber stress file. Every banned token below is inside a
+//! string or comment and must NOT fire; the single real violation at the
+//! end must fire at its exact line, proving the scrubber stayed aligned.
+
+pub fn strings() -> Vec<String> {
+    let plain = "thread_rng and HashMap.values() in a plain string";
+    let raw = r"SystemTime in a raw string";
+    let fenced = r#"say "thread_rng" loud"#;
+    let double_fenced = r##"outer r#"OsRng"# inner"##;
+    let byte = b"RandomState as bytes";
+    let byte_raw = br#"Instant::now() as raw bytes"#;
+    let c_str = c"thread_rng as a C string";
+    let c_raw = cr#"say "thread_rng" loud in C"#;
+    let escaped = "a \"quoted\" thread_rng escape";
+    vec![
+        plain.into(),
+        raw.into(),
+        fenced.into(),
+        double_fenced.into(),
+        String::from_utf8_lossy(byte).into_owned(),
+        String::from_utf8_lossy(byte_raw).into_owned(),
+        format!("{c_str:?}{c_raw:?}"),
+        escaped.into(),
+    ]
+}
+
+/* Block comments nest in Rust: /* HashSet.iter() inside */ still inside,
+   thread_rng still inside. */
+pub fn comments() {
+    // line comment: SystemTime::now()
+    /* simple block: OsRng */
+}
+
+pub fn not_raw_strings() {
+    let br_ident = 1u32; // identifiers starting with b/r/c are not prefixes
+    let crx = br_ident + 1;
+    let r = crx; // single letters too
+    let _ = r;
+}
+
+pub fn real_violation() -> std::time::Instant {
+    std::time::Instant::now()
+}

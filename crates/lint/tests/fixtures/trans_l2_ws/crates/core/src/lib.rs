@@ -1,0 +1,14 @@
+//! Fixture kernel crate: the fault path calls into the util crate.
+
+use fixture_util::helper_a;
+
+pub struct Kernel {
+    now: u64,
+}
+
+impl Kernel {
+    pub fn fault(&mut self, vpn: u64) -> u64 {
+        self.now += helper_a() + vpn;
+        self.now
+    }
+}

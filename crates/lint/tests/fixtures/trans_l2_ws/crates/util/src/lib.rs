@@ -1,0 +1,12 @@
+//! Fixture util crate. `util` is not a sim crate, so the per-file rule
+//! set never applies L2 here — only the call-graph pass can see that
+//! `Kernel::fault` reaches the `Instant::now()` two helpers down.
+
+pub fn helper_a() -> u64 {
+    helper_b()
+}
+
+fn helper_b() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}

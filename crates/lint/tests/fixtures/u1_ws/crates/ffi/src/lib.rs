@@ -1,0 +1,20 @@
+//! Fixture: unsafe blocks with and without SAFETY justifications.
+
+pub fn documented(ptr: *const u64) -> u64 {
+    // SAFETY: caller guarantees ptr is non-null and aligned; checked by
+    // the allocator invariant one frame up.
+    unsafe { *ptr }
+}
+
+pub fn same_line(ptr: *const u64) -> u64 {
+    unsafe { *ptr } // SAFETY: ptr comes from a live Box we own
+}
+
+pub fn undocumented(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}
+
+pub fn wrong_comment(ptr: *const u64) -> u64 {
+    // this dereference is probably fine
+    unsafe { *ptr }
+}

@@ -230,6 +230,9 @@ pub struct MgLru {
     needs_aging: bool,
     walk: Option<WalkState>,
     stats: PolicyStats,
+    /// Reusable buffer for spatial PTE-line scans during eviction, so the
+    /// reclaim path never allocates after construction.
+    scan_scratch: Vec<PageKey>,
 }
 
 impl MgLru {
@@ -257,6 +260,7 @@ impl MgLru {
             needs_aging: true,
             walk: None,
             stats: PolicyStats::default(),
+            scan_scratch: Vec::with_capacity(PTES_PER_LINE),
         }
     }
 
@@ -557,7 +561,9 @@ impl Policy for MgLru {
         let mut out = ReclaimOutcome::default();
         let scan_cap = (want as u64 * 16).max(128);
         let mut sync_ages = 0;
-        let mut scratch: Vec<PageKey> = Vec::with_capacity(PTES_PER_LINE);
+        // Detach the scratch buffer so the scan can fill it while `self`
+        // stays borrowable for promotions; reattached before returning.
+        let mut scratch = std::mem::take(&mut self.scan_scratch);
 
         'outer: while (out.victims.len() as u32) < want {
             self.advance_min_seq();
@@ -667,6 +673,7 @@ impl Policy for MgLru {
             self.needs_aging = true;
         }
         self.tiers.rebalance();
+        self.scan_scratch = scratch;
         out
     }
 
