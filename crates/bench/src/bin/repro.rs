@@ -1,7 +1,7 @@
 //! `repro` — regenerates every figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|default|paper] [--seed N] [--jobs N]
+//! repro [--scale smoke|default|paper|paper-native] [--seed N] [--jobs N]
 //!       [--cache-dir DIR | --no-cache]
 //!       [--journal FILE] [--resume FILE] [--max-attempts N]
 //!       [--trial-budget NS] [--chaos SPEC]
@@ -10,7 +10,7 @@
 //!       [--sample-interval NS] [--trace-events N] [--list]
 //! repro bench [--bench-scale quick|default] [--out FILE]
 //!       [--check FILE] [--min-samples N] [--max-samples N]
-//!       [--gate-slack F] [--commit SHA] [--list]
+//!       [--gate-slack F] [--gate-slack-scan F] [--commit SHA] [--list]
 //! ```
 //!
 //! Each figure subcommand prints the same normalized series the
@@ -70,7 +70,7 @@ use pagesim_trace::TraceConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale smoke|default|paper] [--seed N] [--jobs N]\n\
+        "usage: repro [--scale smoke|default|paper|paper-native] [--seed N] [--jobs N]\n\
          \x20            [--cache-dir DIR | --no-cache] [--journal FILE]\n\
          \x20            [--resume FILE] [--max-attempts N] [--trial-budget NS]\n\
          \x20            [--chaos SPEC] [fig1..fig12 | faults | all]\n\
@@ -110,6 +110,8 @@ fn usage() -> ! {
          --max-samples N     override the hard sample cap\n\
          --gate-slack F      extra allowance as a fraction of the baseline\n\
          \x20                    mean (default 0.25)\n\
+         --gate-slack-scan F slack for the *_scan_ns_per_pte metrics\n\
+         \x20                    (default: min(--gate-slack, 0.10))\n\
          --commit SHA        commit id to stamp (default: $PAGESIM_COMMIT,\n\
          \x20                    then git rev-parse HEAD)\n\
          --list              print the metric matrix spec and exit\n\
@@ -182,6 +184,7 @@ fn main() {
     let mut min_samples: Option<u64> = None;
     let mut max_samples: Option<u64> = None;
     let mut gate_slack = 0.25f64;
+    let mut gate_slack_scan: Option<f64> = None;
     let mut commit: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -192,6 +195,10 @@ fn main() {
                     "smoke" => Scale::smoke(),
                     "default" => Scale::default_scale(),
                     "paper" => Scale::paper(),
+                    // Million-page footprints, page_compression ~ 1: for
+                    // exercising the word-level scan paths at the paper's
+                    // native page counts (pair with --trials 1 in CI).
+                    "paper-native" => Scale::paper_native(),
                     _ => usage(),
                 };
             }
@@ -287,6 +294,14 @@ fn main() {
                     usage();
                 }
             }
+            "--gate-slack-scan" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let s: f64 = v.parse().unwrap_or_else(|_| usage());
+                if !(0.0..=10.0).contains(&s) {
+                    usage();
+                }
+                gate_slack_scan = Some(s);
+            }
             "--commit" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 commit = Some(v);
@@ -308,6 +323,7 @@ fn main() {
             min_samples,
             max_samples,
             gate_slack,
+            gate_slack_scan,
             commit,
             jobs,
             list_cells,
@@ -445,6 +461,7 @@ fn run_bench_cmd(
     min_samples: Option<u64>,
     max_samples: Option<u64>,
     gate_slack: f64,
+    gate_slack_scan: Option<f64>,
     commit: Option<String>,
     jobs: usize,
     list: bool,
@@ -510,7 +527,17 @@ fn run_bench_cmd(
 
     match baseline {
         Some(base) => {
-            let regressions = history::check(&base, entry, gate_slack);
+            // The scan microbenches repeat tightly (fixed trial, pure host
+            // speed), so their gate defaults to a narrower band than the
+            // end-to-end metrics'.
+            let scan_slack = gate_slack_scan.unwrap_or_else(|| gate_slack.min(0.10));
+            let regressions = history::check_with(&base, entry, |name| {
+                if repro_bench::is_scan_metric(name) {
+                    scan_slack
+                } else {
+                    gate_slack
+                }
+            });
             if regressions.is_empty() {
                 println!(
                     "# bench check passed: {} tracked metric(s) within noise of {}",

@@ -446,6 +446,18 @@ impl fmt::Display for Regression {
 /// pass the gate); metrics new in `current` are ignored (they have no
 /// baseline yet).
 pub fn check(baseline: &BenchEntry, current: &BenchEntry, slack: f64) -> Vec<Regression> {
+    check_with(baseline, current, |_| slack)
+}
+
+/// [`check`] with a per-metric slack: `slack_for` maps a metric name to
+/// the slack fraction its gate uses. Lets the tightly-repeatable scan
+/// microbenches (`*_scan_ns_per_pte/*`) run a narrower band than the
+/// noisier end-to-end wall-time metrics without loosening either.
+pub fn check_with(
+    baseline: &BenchEntry,
+    current: &BenchEntry,
+    slack_for: impl Fn(&str) -> f64,
+) -> Vec<Regression> {
     let mut regressions = Vec::new();
     for base in &baseline.metrics {
         let Some(cur) = current.metric(&base.name) else {
@@ -462,7 +474,8 @@ pub fn check(baseline: &BenchEntry, current: &BenchEntry, slack: f64) -> Vec<Reg
             Direction::Higher => base.mean - cur.mean,
             Direction::Lower => cur.mean - base.mean,
         };
-        let allowed = base.ci_half_width() + cur.ci_half_width() + slack * base.mean.abs();
+        let allowed =
+            base.ci_half_width() + cur.ci_half_width() + slack_for(&base.name) * base.mean.abs();
         if delta > allowed {
             regressions.push(Regression {
                 name: base.name.clone(),
@@ -594,6 +607,32 @@ mod tests {
         // delta 12, band = 5 + 4 + slack*100.
         assert_eq!(check(&base, &cur, 0.0).len(), 1);
         assert!(check(&base, &cur, 0.05).is_empty(), "5% slack covers it");
+    }
+
+    #[test]
+    fn check_with_applies_per_metric_slack() {
+        let base = entry(vec![
+            record("aging_scan_ns_per_pte/mglru", Direction::Lower, 10.0, 0.1),
+            record("sweep_wall_ms/cold", Direction::Lower, 100.0, 1.0),
+        ]);
+        // Both move adversely by 15% of the baseline mean.
+        let cur = entry(vec![
+            record("aging_scan_ns_per_pte/mglru", Direction::Lower, 11.5, 0.1),
+            record("sweep_wall_ms/cold", Direction::Lower, 115.0, 1.0),
+        ]);
+        // Uniform 25% slack: both pass.
+        assert!(check(&base, &cur, 0.25).is_empty());
+        // Scan metrics gated at 10%, the rest at 25%: only the scan
+        // metric's move exceeds its band.
+        let r = check_with(&base, &cur, |name| {
+            if name.contains("_scan_ns_per_pte/") {
+                0.10
+            } else {
+                0.25
+            }
+        });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].name, "aging_scan_ns_per_pte/mglru");
     }
 
     #[test]

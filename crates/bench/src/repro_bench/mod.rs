@@ -117,8 +117,11 @@ pub struct MetricSpec {
 enum ProbeKind {
     /// One fixed simulation trial, timed on the host.
     Trial(CellQuery),
-    /// One trial with the `bench-counters` side channel read out.
-    Counters(CellQuery),
+    /// One trial with the `bench-counters` side channel read out. The
+    /// flag adds the word-scan metrics (aging/evict ns-per-PTE), which
+    /// only MG-LRU exercises — Clock has no table-walk paths, so its
+    /// scan counters would sit at a meaningless constant zero.
+    Counters(CellQuery, bool),
     /// A smoke-scale sweep against an empty cache.
     SweepCold,
     /// A smoke-scale sweep against a primed cache.
@@ -137,6 +140,14 @@ pub struct BenchProbe {
 
 /// The figures the sweep wall-time probes run (smoke scale: 4 cells).
 const SWEEP_PROBE_FIGS: &[&str] = &["fig2"];
+
+/// True for the per-PTE scan microbench metrics
+/// (`aging_scan_ns_per_pte/*`, `evict_scan_ns_per_pte/*`). These measure
+/// pure host-side scan speed with no simulated-time noise, so the
+/// regression gate holds them to a tighter slack than end-to-end metrics.
+pub fn is_scan_metric(name: &str) -> bool {
+    name.contains("_scan_ns_per_pte/")
+}
 
 /// Enumerates the full benchmark matrix for a scale, in canonical order.
 /// Pure: two calls (any process, any `--jobs`) enumerate byte-identical
@@ -166,21 +177,35 @@ pub fn matrix(scale: &BenchScale) -> Vec<BenchProbe> {
     if benchcounters::ENABLED {
         for policy in policies {
             let query = CellQuery::healthy(Wl::Tpch, policy, SwapChoice::Ssd, 0.5);
+            let scan_metrics = matches!(policy, PolicyChoice::MgLruDefault);
+            let mut metrics = vec![
+                MetricSpec {
+                    name: format!("fault_path_ns_per_op/{}", policy.label()),
+                    unit: "ns/op",
+                    direction: Direction::Lower,
+                },
+                MetricSpec {
+                    name: format!("reclaim_batch_ns_per_op/{}", policy.label()),
+                    unit: "ns/op",
+                    direction: Direction::Lower,
+                },
+            ];
+            if scan_metrics {
+                metrics.push(MetricSpec {
+                    name: format!("aging_scan_ns_per_pte/{}", policy.label()),
+                    unit: "ns/pte",
+                    direction: Direction::Lower,
+                });
+                metrics.push(MetricSpec {
+                    name: format!("evict_scan_ns_per_pte/{}", policy.label()),
+                    unit: "ns/pte",
+                    direction: Direction::Lower,
+                });
+            }
             probes.push(BenchProbe {
                 label: format!("counters/{}", policy.label()),
-                metrics: vec![
-                    MetricSpec {
-                        name: format!("fault_path_ns_per_op/{}", policy.label()),
-                        unit: "ns/op",
-                        direction: Direction::Lower,
-                    },
-                    MetricSpec {
-                        name: format!("reclaim_batch_ns_per_op/{}", policy.label()),
-                        unit: "ns/op",
-                        direction: Direction::Lower,
-                    },
-                ],
-                kind: ProbeKind::Counters(query),
+                metrics,
+                kind: ProbeKind::Counters(query, scan_metrics),
             });
         }
     }
@@ -353,14 +378,19 @@ impl<'a> ProbeRunner<'a> {
                 let secs = t0.elapsed().as_secs_f64().max(1e-9);
                 vec![metrics.accesses as f64 / secs]
             }
-            ProbeKind::Counters(query) => {
+            ProbeKind::Counters(query, scan_metrics) => {
                 benchcounters::reset();
                 let _ = self.bench.run_trial(query, 0);
                 let snap = benchcounters::take();
-                vec![
+                let mut samples = vec![
                     snap.fault_ns_per_op().unwrap_or(0.0),
                     snap.reclaim_ns_per_op().unwrap_or(0.0),
-                ]
+                ];
+                if *scan_metrics {
+                    samples.push(snap.aging_scan_ns_per_pte().unwrap_or(0.0));
+                    samples.push(snap.evict_scan_ns_per_pte().unwrap_or(0.0));
+                }
+                samples
             }
             ProbeKind::SweepCold => {
                 // A brand-new cache dir every sample: every trial misses.
@@ -464,6 +494,18 @@ mod tests {
             spec.contains("reclaim_batch_ns_per_op/"),
             benchcounters::ENABLED
         );
+        // Scan metrics ride the mglru counters probe only: Clock has no
+        // table-walk scan paths.
+        assert_eq!(
+            spec.contains("aging_scan_ns_per_pte/mglru\tns/pte\tlower\tcounters/mglru\n"),
+            benchcounters::ENABLED
+        );
+        assert_eq!(
+            spec.contains("evict_scan_ns_per_pte/mglru\tns/pte\tlower\tcounters/mglru\n"),
+            benchcounters::ENABLED
+        );
+        assert!(!spec.contains("aging_scan_ns_per_pte/clock"));
+        assert!(!spec.contains("evict_scan_ns_per_pte/clock"));
     }
 
     #[test]

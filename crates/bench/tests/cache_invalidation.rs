@@ -16,6 +16,7 @@ fn bench_with(seed: u64) -> Bench {
         trials: 2,
         footprint: 0.12,
         seed,
+        page_compression: None,
     })
 }
 
@@ -91,6 +92,7 @@ fn seed_footprint_version_and_trial_change_the_key() {
             trials: 2,
             footprint: 0.2,
             seed: 7,
+            page_compression: None,
         })
         .trial_content_hash(&q, 0),
         "workload footprint must enter the key"

@@ -18,6 +18,7 @@ fn tiny_bench() -> Bench {
         trials: 2,
         footprint: 0.12,
         seed: 7,
+        page_compression: None,
     })
 }
 
@@ -105,6 +106,7 @@ fn enumeration_covers_every_figure_id() {
         trials: 2,
         footprint: 0.08,
         seed: 7,
+        page_compression: None,
     });
     for fig in experiments::figure_ids() {
         run_sweep(&bench, &[fig.to_string()], &no_cache(2));
@@ -214,6 +216,7 @@ fn parallel_sweep_is_faster_with_enough_cores() {
         trials: 4,
         footprint: 0.25,
         seed: 7,
+        page_compression: None,
     };
 
     let bench = Bench::new(scale);

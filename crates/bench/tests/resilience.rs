@@ -19,6 +19,7 @@ fn tiny_bench() -> Bench {
         trials: 2,
         footprint: 0.1,
         seed: 11,
+        page_compression: None,
     })
 }
 

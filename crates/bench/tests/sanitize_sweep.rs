@@ -14,6 +14,7 @@ fn smoke_sweep_runs_clean_under_sanitizer() {
         trials: 1,
         footprint: 0.12,
         seed: 7,
+        page_compression: None,
     });
     let figs = vec!["fig1".to_string(), "faults".to_string()];
     let opts = SweepOptions {

@@ -31,6 +31,16 @@ pub struct CounterSnapshot {
     pub reclaim_ns: u64,
     /// Number of timed reclaim batches.
     pub reclaim_ops: u64,
+    /// Total host nanoseconds inside the aging walk's region scans
+    /// ([`MemView::scan_region`](pagesim_policy::MemView::scan_region)).
+    pub aging_scan_ns: u64,
+    /// PTEs examined by the timed aging-walk region scans.
+    pub aging_scan_ptes: u64,
+    /// Total host nanoseconds inside the eviction scan's spatial
+    /// line-mask probes.
+    pub evict_scan_ns: u64,
+    /// PTEs examined by the timed eviction line scans.
+    pub evict_scan_ptes: u64,
 }
 
 impl CounterSnapshot {
@@ -42,6 +52,19 @@ impl CounterSnapshot {
     /// Mean reclaim-batch nanoseconds per batch, or `None` with no ops.
     pub fn reclaim_ns_per_op(&self) -> Option<f64> {
         (self.reclaim_ops > 0).then(|| self.reclaim_ns as f64 / self.reclaim_ops as f64)
+    }
+
+    /// Mean aging-walk host nanoseconds per PTE examined, or `None` when
+    /// no aging scans ran. The examined count is simulation-deterministic,
+    /// so before/after builds divide by the same denominator.
+    pub fn aging_scan_ns_per_pte(&self) -> Option<f64> {
+        (self.aging_scan_ptes > 0).then(|| self.aging_scan_ns as f64 / self.aging_scan_ptes as f64)
+    }
+
+    /// Mean eviction-scan host nanoseconds per PTE examined, or `None`
+    /// when no spatial line scans ran.
+    pub fn evict_scan_ns_per_pte(&self) -> Option<f64> {
+        (self.evict_scan_ptes > 0).then(|| self.evict_scan_ns as f64 / self.evict_scan_ptes as f64)
     }
 }
 
@@ -57,6 +80,10 @@ mod imp {
         static FAULT_OPS: Cell<u64> = const { Cell::new(0) };
         static RECLAIM_NS: Cell<u64> = const { Cell::new(0) };
         static RECLAIM_OPS: Cell<u64> = const { Cell::new(0) };
+        static AGING_SCAN_NS: Cell<u64> = const { Cell::new(0) };
+        static AGING_SCAN_PTES: Cell<u64> = const { Cell::new(0) };
+        static EVICT_SCAN_NS: Cell<u64> = const { Cell::new(0) };
+        static EVICT_SCAN_PTES: Cell<u64> = const { Cell::new(0) };
     }
 
     /// RAII timer charging its lifetime to the fault-path counters.
@@ -103,12 +130,68 @@ mod imp {
         }
     }
 
+    /// RAII timer charging its lifetime to the aging-scan counters.
+    pub struct AgingScanTimer {
+        // lint: allow(wall-clock) see module header: side-channel measurement only
+        start: Instant,
+    }
+
+    impl Drop for AgingScanTimer {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            AGING_SCAN_NS.with(|c| c.set(c.get().saturating_add(ns)));
+        }
+    }
+
+    /// RAII timer charging its lifetime to the eviction-scan counters.
+    pub struct EvictScanTimer {
+        // lint: allow(wall-clock) see module header: side-channel measurement only
+        start: Instant,
+    }
+
+    impl Drop for EvictScanTimer {
+        fn drop(&mut self) {
+            let ns = self.start.elapsed().as_nanos() as u64;
+            EVICT_SCAN_NS.with(|c| c.set(c.get().saturating_add(ns)));
+        }
+    }
+
+    /// Starts timing one aging-walk region scan.
+    pub fn time_aging_scan() -> AgingScanTimer {
+        AgingScanTimer {
+            // lint: allow(wall-clock) see module header: side-channel measurement only
+            start: Instant::now(),
+        }
+    }
+
+    /// Credits PTEs examined by a timed aging-walk region scan.
+    pub fn add_aging_scan_ptes(n: u64) {
+        AGING_SCAN_PTES.with(|c| c.set(c.get().saturating_add(n)));
+    }
+
+    /// Starts timing one eviction spatial line scan.
+    pub fn time_evict_scan() -> EvictScanTimer {
+        EvictScanTimer {
+            // lint: allow(wall-clock) see module header: side-channel measurement only
+            start: Instant::now(),
+        }
+    }
+
+    /// Credits PTEs examined by a timed eviction line scan.
+    pub fn add_evict_scan_ptes(n: u64) {
+        EVICT_SCAN_PTES.with(|c| c.set(c.get().saturating_add(n)));
+    }
+
     /// Zeroes this thread's counters (call before a measurement window).
     pub fn reset() {
         FAULT_NS.with(|c| c.set(0));
         FAULT_OPS.with(|c| c.set(0));
         RECLAIM_NS.with(|c| c.set(0));
         RECLAIM_OPS.with(|c| c.set(0));
+        AGING_SCAN_NS.with(|c| c.set(0));
+        AGING_SCAN_PTES.with(|c| c.set(0));
+        EVICT_SCAN_NS.with(|c| c.set(0));
+        EVICT_SCAN_PTES.with(|c| c.set(0));
     }
 
     /// Reads and zeroes this thread's counters (call after the window).
@@ -118,6 +201,10 @@ mod imp {
             fault_ops: FAULT_OPS.with(Cell::get),
             reclaim_ns: RECLAIM_NS.with(Cell::get),
             reclaim_ops: RECLAIM_OPS.with(Cell::get),
+            aging_scan_ns: AGING_SCAN_NS.with(Cell::get),
+            aging_scan_ptes: AGING_SCAN_PTES.with(Cell::get),
+            evict_scan_ns: EVICT_SCAN_NS.with(Cell::get),
+            evict_scan_ptes: EVICT_SCAN_PTES.with(Cell::get),
         };
         reset();
         snap
@@ -142,6 +229,20 @@ mod imp {
         fn drop(&mut self) {}
     }
 
+    /// No-op stand-in for the aging-scan timer when counters are compiled out.
+    pub struct AgingScanTimer;
+
+    impl Drop for AgingScanTimer {
+        fn drop(&mut self) {}
+    }
+
+    /// No-op stand-in for the evict-scan timer when counters are compiled out.
+    pub struct EvictScanTimer;
+
+    impl Drop for EvictScanTimer {
+        fn drop(&mut self) {}
+    }
+
     /// No-op: counters are compiled out.
     #[inline(always)]
     pub fn time_fault() -> FaultTimer {
@@ -156,6 +257,26 @@ mod imp {
 
     /// No-op: counters are compiled out.
     #[inline(always)]
+    pub fn time_aging_scan() -> AgingScanTimer {
+        AgingScanTimer
+    }
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
+    pub fn add_aging_scan_ptes(_n: u64) {}
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
+    pub fn time_evict_scan() -> EvictScanTimer {
+        EvictScanTimer
+    }
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
+    pub fn add_evict_scan_ptes(_n: u64) {}
+
+    /// No-op: counters are compiled out.
+    #[inline(always)]
     pub fn reset() {}
 
     /// Always the zero snapshot: counters are compiled out.
@@ -165,7 +286,10 @@ mod imp {
     }
 }
 
-pub use imp::{reset, take, time_fault, time_reclaim, FaultTimer, ReclaimTimer};
+pub use imp::{
+    add_aging_scan_ptes, add_evict_scan_ptes, reset, take, time_aging_scan, time_evict_scan,
+    time_fault, time_reclaim, AgingScanTimer, EvictScanTimer, FaultTimer, ReclaimTimer,
+};
 
 /// Whether this build carries the hot-path counters (`bench-counters`).
 pub const ENABLED: bool = cfg!(feature = "bench-counters");
@@ -214,5 +338,38 @@ mod tests {
         let snap = CounterSnapshot::default();
         assert_eq!(snap.fault_ns_per_op(), None);
         assert_eq!(snap.reclaim_ns_per_op(), None);
+        assert_eq!(snap.aging_scan_ns_per_pte(), None);
+        assert_eq!(snap.evict_scan_ns_per_pte(), None);
+    }
+
+    #[test]
+    fn scan_counters_divide_by_examined_ptes() {
+        if !ENABLED {
+            reset();
+            let _a = time_aging_scan();
+            let _e = time_evict_scan();
+            add_aging_scan_ptes(512);
+            add_evict_scan_ptes(8);
+            drop((_a, _e));
+            assert_eq!(take(), CounterSnapshot::default());
+            return;
+        }
+        reset();
+        {
+            let _t = time_aging_scan();
+            std::hint::black_box(0u64);
+        }
+        add_aging_scan_ptes(512);
+        {
+            let _t = time_evict_scan();
+            std::hint::black_box(0u64);
+        }
+        add_evict_scan_ptes(8);
+        let snap = take();
+        assert_eq!(snap.aging_scan_ptes, 512);
+        assert_eq!(snap.evict_scan_ptes, 8);
+        assert!(snap.aging_scan_ns_per_pte().is_some());
+        assert!(snap.evict_scan_ns_per_pte().is_some());
+        assert_eq!(take(), CounterSnapshot::default());
     }
 }

@@ -48,6 +48,11 @@ pub struct Scale {
     pub footprint: f64,
     /// Master seed; trial seeds derive from it.
     pub seed: u64,
+    /// Overrides [`SystemConfig::page_compression`] for every cell run at
+    /// this scale. `None` keeps each config's own calibrated default; the
+    /// paper-native tier sets it near 1 because its simulated page counts
+    /// approach the paper's real ones, so each page stands for few.
+    pub page_compression: Option<u64>,
 }
 
 impl Scale {
@@ -57,6 +62,7 @@ impl Scale {
             trials: 3,
             footprint: 0.25,
             seed: 0xC0FFEE,
+            page_compression: None,
         }
     }
 
@@ -66,6 +72,7 @@ impl Scale {
             trials: 10,
             footprint: 0.5,
             seed: 0xC0FFEE,
+            page_compression: None,
         }
     }
 
@@ -75,6 +82,23 @@ impl Scale {
             trials: 25,
             footprint: 1.0,
             seed: 0xC0FFEE,
+            page_compression: None,
+        }
+    }
+
+    /// Paper-native footprint tier: workloads inflated 64x over the paper
+    /// scale (TPC-H crosses a million simulated pages), with the
+    /// page-compression factor dropped from 200 to 3 so each simulated
+    /// page stands for roughly `200/64` real ones and the
+    /// scan-cost-to-fault-cost balance stays calibrated. Two trials:
+    /// this tier exists to exercise the word-level scan paths at native
+    /// page counts, not to converge figure statistics.
+    pub fn paper_native() -> Scale {
+        Scale {
+            trials: 2,
+            footprint: 64.0,
+            seed: 0xC0FFEE,
+            page_compression: Some(3),
         }
     }
 }
@@ -253,6 +277,19 @@ impl Bench {
         self.scale
     }
 
+    /// The [`SystemConfig`] a query actually runs under at this scale:
+    /// the query's own config with the scale's page-compression override
+    /// (if any) applied. Every execution path and the trial content hash
+    /// go through here, so an override can never alias a cached cell run
+    /// without it.
+    pub fn resolve_config(&self, query: &CellQuery) -> SystemConfig {
+        let mut config = query.system_config();
+        if let Some(pc) = self.scale.page_compression {
+            config.page_compression = pc;
+        }
+        config
+    }
+
     /// The buffered-I/O workload (tier/PID ablations).
     pub fn buffered(&self) -> &BufferedIoWorkload {
         &self.buffered
@@ -301,7 +338,7 @@ impl Bench {
             return Arc::clone(hit);
         }
         self.computed.fetch_add(1, Ordering::Relaxed);
-        let exp = Experiment::new(query.system_config());
+        let exp = Experiment::new(self.resolve_config(query));
         let seed = self.scale.seed;
         let trials = self.scale.trials;
         let set = match query.wl {
@@ -337,7 +374,7 @@ impl Bench {
         trial: u32,
         budget: Option<Nanos>,
     ) -> RunMetrics {
-        let mut config = query.system_config();
+        let mut config = self.resolve_config(query);
         if let Some(b) = budget {
             config.max_sim_time = config.max_sim_time.min(b);
         }
@@ -364,7 +401,7 @@ impl Bench {
         trial: u32,
         trace_cfg: pagesim_trace::TraceConfig,
     ) -> (RunMetrics, pagesim_trace::TraceData) {
-        let config = query.system_config();
+        let config = self.resolve_config(query);
         let exp = Experiment::new(config.clone());
         let seed = trial_seed(self.scale.seed, trial);
         let (metrics, tracer) = match query.wl {
@@ -429,7 +466,7 @@ impl Bench {
         h.write_str(query.wl.label());
         h.write_f64(self.scale.footprint);
         h.write_u32(self.footprint(query.wl));
-        h.write_u64(query.system_config().stable_hash());
+        h.write_u64(self.resolve_config(query).stable_hash());
         h.write_u32(trial);
         h.write_u64(trial_seed(self.scale.seed, trial));
         h.finish()

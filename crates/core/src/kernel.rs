@@ -257,6 +257,10 @@ pub struct Kernel {
     /// default) short-circuits every hook.
     #[cfg(feature = "trace")]
     tracer: Option<Box<Tracer>>,
+    /// Quiesce-point counter for sampling the O(pages) sanitize sweep at
+    /// paper-native footprints (a `Cell` because the checker is `&self`).
+    #[cfg(feature = "sanitize")]
+    sanitize_tick: std::cell::Cell<u64>,
 }
 
 impl Kernel {
@@ -391,6 +395,8 @@ impl Kernel {
             metrics,
             #[cfg(feature = "trace")]
             tracer: None,
+            #[cfg(feature = "sanitize")]
+            sanitize_tick: std::cell::Cell::new(0),
         }
     }
 
@@ -504,7 +510,7 @@ impl Kernel {
 
     fn finalize(mut self) -> RunMetrics {
         #[cfg(feature = "sanitize")]
-        self.check_invariants();
+        self.check_invariants_full();
         self.metrics.runtime_ns = self.finish_time.as_ns();
         self.metrics.policy = self.policy.stats();
         self.metrics.swap_stats = self.swap.stats();
@@ -802,7 +808,7 @@ impl Kernel {
                 *used += self.cfg.app_costs.fd_hit_ns;
                 if write && !pte.dirty() {
                     self.dirty_transition(key);
-                    self.mem.space_mut(space).pte_mut(vpn).set_dirty();
+                    self.mem.space_mut(space).set_dirty(vpn);
                 }
                 self.policy.on_fd_access(key, &mut self.mem);
             } else {
@@ -1020,7 +1026,7 @@ impl Kernel {
         }
         if fd {
             if write {
-                self.mem.space_mut(space).pte_mut(vpn).set_dirty();
+                self.mem.space_mut(space).set_dirty(vpn);
             }
             let refault = self.mem.evicted_before[key as usize];
             self.policy.on_page_resident(key, refault, &mut self.mem);
@@ -1121,11 +1127,11 @@ impl Kernel {
                     self.frame_owner[frame as usize] = None;
                     self.mem.phys.free(frame);
                 }
-                self.mem.space_mut(space).pte_mut(vpn).clear();
+                self.mem.space_mut(space).clear_mapping(vpn);
             } else if let Some(slot) = self.mem.backing[key as usize].take() {
                 // Clean anon page with a valid swap copy: free drop.
                 debug_assert!(!pte.dirty(), "dirty page kept backing");
-                self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
+                self.mem.space_mut(space).set_swapped(vpn, slot);
                 self.frame_owner[frame as usize] = None;
                 self.mem.phys.free(frame);
                 self.metrics.clean_drops += 1;
@@ -1136,7 +1142,7 @@ impl Kernel {
                     Ok(out) => {
                         cpu += out.cpu_ns;
                         self.slot_ready.insert(slot, out.done_at);
-                        self.mem.space_mut(space).pte_mut(vpn).set_swapped(slot);
+                        self.mem.space_mut(space).set_swapped(vpn, slot);
                         self.metrics.swap_outs += 1;
                         self.pin_until(frame, vt + cpu, out.done_at);
                     }
@@ -1250,7 +1256,7 @@ impl Kernel {
             };
             let (space, vpn) = self.mem.locate(key);
             self.policy.forget(key);
-            self.mem.space_mut(space).pte_mut(vpn).clear();
+            self.mem.space_mut(space).clear_mapping(vpn);
             if let Some(slot) = self.mem.backing[key as usize].take() {
                 self.slot_ready.remove(&slot);
                 self.swap.release(slot);
@@ -1386,9 +1392,43 @@ impl Kernel {
     ///
     /// Panics with a `sanitize: <invariant>:` message on the first
     /// violated invariant.
+    ///
+    /// At paper-native footprints the full O(pages) sweep at *every*
+    /// quiesce point would dominate wall time, so above
+    /// [`SANITIZE_THROTTLE_PAGES`](Self::SANITIZE_THROTTLE_PAGES) only
+    /// every [`SANITIZE_THROTTLE_PERIOD`](Self::SANITIZE_THROTTLE_PERIOD)th
+    /// call sweeps (the first call always does, and
+    /// [`finalize`](Self::finalize) always runs the full check).
     #[cfg(feature = "sanitize")]
     fn check_invariants(&self) {
+        let tick = self.sanitize_tick.get();
+        self.sanitize_tick.set(tick + 1);
+        if self.mem.arena.len() > Self::SANITIZE_THROTTLE_PAGES
+            && tick % Self::SANITIZE_THROTTLE_PERIOD != 0
+        {
+            return;
+        }
+        self.check_invariants_full();
+    }
+
+    /// Footprint above which per-quiesce sweeps are sampled.
+    #[cfg(feature = "sanitize")]
+    const SANITIZE_THROTTLE_PAGES: usize = 1 << 18;
+    /// One in this many quiesce points sweeps when throttled.
+    #[cfg(feature = "sanitize")]
+    const SANITIZE_THROTTLE_PERIOD: u64 = 64;
+
+    #[cfg(feature = "sanitize")]
+    fn check_invariants_full(&self) {
         self.mem.phys.check_invariants();
+
+        // Sidecar accessed/present bitmaps against the PTE array and the
+        // per-region population counts.
+        for space in &self.mem.spaces {
+            if let Err(e) = space.check_bitmap_coherence() {
+                panic!("sanitize: pte-bitmap: {e}");
+            }
+        }
 
         // Page sweep: every PTE against the reverse map, swap backing,
         // and the dirty bit.

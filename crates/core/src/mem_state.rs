@@ -3,9 +3,12 @@
 
 use pagesim_mem::{
     AddressSpace, AsId, LineIdx, PageArena, PageInfo, PageKey, PhysMem, RegionIdx, Vpn,
+    WORDS_PER_REGION,
 };
 use pagesim_policy::MemView;
 use pagesim_swap::SwapSlot;
+
+use crate::benchcounters;
 
 /// Address spaces, page tables, frame pool, and swap-cache bookkeeping.
 #[derive(Debug)]
@@ -75,24 +78,34 @@ impl MemView for MemState {
 
     fn rmap_test_clear_accessed(&mut self, key: PageKey) -> bool {
         let (s, vpn) = self.locate(key);
-        self.space_mut(s).pte_mut(vpn).test_and_clear_accessed()
+        self.space_mut(s).test_and_clear_accessed(vpn)
     }
 
-    fn scan_line(&mut self, space: AsId, line: LineIdx, out: &mut Vec<PageKey>) -> u32 {
-        let sp = self.space_mut(space);
-        let base = sp.base_key();
-        let mut vpns = Vec::with_capacity(8);
-        let examined = sp.scan_line(line, &mut vpns);
-        out.extend(vpns.into_iter().map(|v| base + v));
+    fn scan_region(
+        &mut self,
+        space: AsId,
+        region: RegionIdx,
+        words: &mut [u64; WORDS_PER_REGION],
+    ) -> u32 {
+        let _t = benchcounters::time_aging_scan();
+        let examined = self.space_mut(space).scan_region(region, words);
+        benchcounters::add_aging_scan_ptes(examined as u64);
         examined
+    }
+
+    fn scan_line_mask(&mut self, space: AsId, line: LineIdx) -> (u8, u32) {
+        let _t = benchcounters::time_evict_scan();
+        let (mask, examined) = self.space_mut(space).scan_line_mask(line);
+        benchcounters::add_evict_scan_ptes(examined as u64);
+        (mask, examined)
     }
 
     fn key_at(&self, space: AsId, vpn: Vpn) -> PageKey {
         self.space(space).key_of(vpn)
     }
 
-    fn space_ids(&self) -> Vec<AsId> {
-        (0..self.spaces.len() as u16).map(AsId).collect()
+    fn space_count(&self) -> u16 {
+        self.spaces.len() as u16
     }
 
     fn region_count(&self, space: AsId) -> u32 {
@@ -123,19 +136,28 @@ mod tests {
         assert_eq!(m.total_pages(), 150);
         assert_eq!(m.locate(120), (AsId(1), 20));
         assert_eq!(m.key_at(AsId(1), 20), 120);
-        assert_eq!(m.space_ids(), vec![AsId(0), AsId(1)]);
+        assert_eq!(m.space_count(), 2);
     }
 
     #[test]
-    fn scan_line_maps_vpns_to_global_keys() {
+    fn scan_masks_map_to_global_keys_via_key_at() {
         let mut m = state();
         let frame = m.phys.allocate(101).unwrap();
         m.space_mut(AsId(1)).map(1, frame);
         m.space_mut(AsId(1)).mark_accessed(1, false);
-        let mut out = Vec::new();
-        m.scan_line(AsId(1), 0, &mut out);
-        assert_eq!(out, vec![101]);
+        let (mask, examined) = m.scan_line_mask(AsId(1), 0);
+        assert_eq!((mask, examined), (1 << 1, 8));
+        assert_eq!(m.key_at(AsId(1), 1), 101);
         assert!(!m.space(AsId(1)).pte(1).accessed(), "scan clears the bit");
+        // region scan on the other space: vpn 1 of space 1 is untouched
+        m.space_mut(AsId(1)).mark_accessed(1, false);
+        let mut words = [0u64; WORDS_PER_REGION];
+        let examined = m.scan_region(AsId(0), 0, &mut words);
+        assert_eq!(examined, 100);
+        assert_eq!(words, [0u64; WORDS_PER_REGION]);
+        let examined = m.scan_region(AsId(1), 0, &mut words);
+        assert_eq!(examined, 50);
+        assert_eq!(words[0], 1 << 1);
     }
 
     #[test]

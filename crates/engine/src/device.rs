@@ -15,8 +15,6 @@
 //! injected errors and are pushed past stall windows before queueing. A
 //! device without an injector is byte-identical to the fault-free model.
 
-use std::collections::BinaryHeap;
-
 use crate::faults::{FaultInjector, FaultStats, IoResult};
 use crate::time::{Nanos, SimTime};
 
@@ -51,9 +49,11 @@ pub struct DeviceStats {
 /// ```
 #[derive(Debug)]
 pub struct QueuedDevice {
-    // Min-heap (via Reverse ordering trick below) of times at which each
-    // server becomes free. Length is always exactly `k`.
-    free_at: BinaryHeap<std::cmp::Reverse<u64>>,
+    // Times at which each server becomes free, sorted ascending. Length is
+    // always exactly `k` (small: device parallelism), so a shift-insert
+    // into a fixed ring beats a heap — no allocation after construction
+    // and the common submit touches a handful of contiguous words.
+    free_at: Vec<u64>,
     faults: Option<FaultInjector>,
     stats: DeviceStats,
 }
@@ -66,12 +66,8 @@ impl QueuedDevice {
     /// Panics if `servers == 0`.
     pub fn new(servers: usize) -> Self {
         assert!(servers > 0, "device needs at least one server");
-        let mut free_at = BinaryHeap::with_capacity(servers);
-        for _ in 0..servers {
-            free_at.push(std::cmp::Reverse(0));
-        }
         QueuedDevice {
-            free_at,
+            free_at: vec![0; servers],
             faults: None,
             stats: DeviceStats::default(),
         }
@@ -102,10 +98,13 @@ impl QueuedDevice {
                 now
             }
         };
-        let std::cmp::Reverse(free) = self.free_at.pop().expect("k >= 1 servers");
-        let start = free.max(eff.as_ns());
+        // The earliest-free server takes the request; re-insert its new
+        // free time keeping the array sorted (shift left, place).
+        let start = self.free_at[0].max(eff.as_ns());
         let done = start + service;
-        self.free_at.push(std::cmp::Reverse(done));
+        let pos = self.free_at[1..].partition_point(|&t| t <= done);
+        self.free_at.copy_within(1..1 + pos, 0);
+        self.free_at[pos] = done;
 
         let wait = start - now.as_ns();
         self.stats.queue_wait += wait;
@@ -117,13 +116,7 @@ impl QueuedDevice {
     /// The instant at which the device fully drains, assuming no further
     /// submissions.
     pub fn drained_at(&self) -> SimTime {
-        let latest = self
-            .free_at
-            .iter()
-            .map(|std::cmp::Reverse(t)| *t)
-            .max()
-            .unwrap_or(0);
-        SimTime::from_ns(latest)
+        SimTime::from_ns(*self.free_at.last().expect("k >= 1 servers"))
     }
 
     /// Load counters.
@@ -182,6 +175,23 @@ mod tests {
         let b = d.submit(t0, 10).unwrap();
         assert_eq!(a.as_ns(), 300);
         assert_eq!(b.as_ns(), 310); // short request stuck behind long one
+    }
+
+    #[test]
+    fn ring_insert_keeps_servers_sorted() {
+        // Mixed service times across 3 servers: the earliest-free server
+        // must take each request, so completions interleave exactly as the
+        // heap-based model produced them.
+        let mut d = QueuedDevice::new(3);
+        let t0 = SimTime::ZERO;
+        assert_eq!(d.submit(t0, 300).unwrap().as_ns(), 300);
+        assert_eq!(d.submit(t0, 100).unwrap().as_ns(), 100);
+        assert_eq!(d.submit(t0, 200).unwrap().as_ns(), 200);
+        // All busy: next goes to the server free at 100.
+        assert_eq!(d.submit(t0, 50).unwrap().as_ns(), 150);
+        // Then the one free at 150.
+        assert_eq!(d.submit(t0, 10).unwrap().as_ns(), 160);
+        assert_eq!(d.drained_at().as_ns(), 300);
     }
 
     #[test]

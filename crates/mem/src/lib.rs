@@ -34,7 +34,7 @@ mod arena;
 mod phys;
 mod pte;
 
-pub use addrspace::AddressSpace;
+pub use addrspace::{AddressSpace, CoherenceError, CoherenceKind};
 pub use arena::{EntropyClass, PageArena, PageInfo, PageKey};
 pub use phys::{FrameId, FrameState, PhysMem, Watermarks};
 pub use pte::Pte;
@@ -54,6 +54,13 @@ pub const PTES_PER_REGION: usize = 512;
 
 /// Cache lines per PMD region.
 pub const LINES_PER_REGION: usize = PTES_PER_REGION / PTES_PER_LINE;
+
+/// PTEs covered by one word of the sidecar accessed/present bitmaps.
+pub const PTES_PER_WORD: usize = 64;
+
+/// Bitmap words per PMD region — a cold region costs this many word loads
+/// to scan instead of [`PTES_PER_REGION`] branchy PTE reads.
+pub const WORDS_PER_REGION: usize = PTES_PER_REGION / PTES_PER_WORD;
 
 /// Identifies a simulated address space (process).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -78,6 +85,14 @@ pub const fn region_of(vpn: Vpn) -> RegionIdx {
     vpn / PTES_PER_REGION as u32
 }
 
+/// The bitmap word index and bit mask covering `vpn`.
+pub const fn word_bit_of(vpn: Vpn) -> (usize, u64) {
+    (
+        (vpn / PTES_PER_WORD as u32) as usize,
+        1u64 << (vpn % PTES_PER_WORD as u32),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +102,17 @@ mod tests {
         assert_eq!(PTES_PER_REGION % PTES_PER_LINE, 0);
         assert_eq!(LINES_PER_REGION, 64);
         assert_eq!(PAGE_SIZE / 8, PTES_PER_REGION);
+        assert_eq!(WORDS_PER_REGION, 8);
+        assert_eq!(PTES_PER_WORD % PTES_PER_LINE, 0);
+    }
+
+    #[test]
+    fn word_bit_mapping() {
+        assert_eq!(word_bit_of(0), (0, 1));
+        assert_eq!(word_bit_of(63), (0, 1 << 63));
+        assert_eq!(word_bit_of(64), (1, 1));
+        assert_eq!(word_bit_of(511), (7, 1 << 63));
+        assert_eq!(word_bit_of(512), (8, 1));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The kernel-memory interface policies program against.
 
-use pagesim_mem::{AsId, LineIdx, PageInfo, PageKey, RegionIdx, Vpn};
+use pagesim_mem::{AsId, LineIdx, PageInfo, PageKey, RegionIdx, Vpn, WORDS_PER_REGION};
 
 /// Services the simulated kernel exposes to replacement policies.
 ///
@@ -27,16 +27,30 @@ pub trait MemView {
     /// page. The Clock policy's only tracking primitive.
     fn rmap_test_clear_accessed(&mut self, key: PageKey) -> bool;
 
-    /// Linear scan of one PTE cache line: appends the [`PageKey`] of every
-    /// present PTE whose accessed bit was set (bits are cleared) and
-    /// returns the number of PTEs examined.
-    fn scan_line(&mut self, space: AsId, line: LineIdx, out: &mut Vec<PageKey>) -> u32;
+    /// Linear scan of one whole PMD region: fills `words` with the
+    /// accessed-bit masks of the region's PTEs (bit `i` of word `w` = vpn
+    /// `region*512 + w*64 + i` was present and accessed; bits are cleared)
+    /// and returns the number of PTEs examined for cost accounting. The
+    /// word-level form of the kernel's linear leaf-table walk: a cold
+    /// region costs a handful of word loads instead of 512 PTE reads.
+    fn scan_region(
+        &mut self,
+        space: AsId,
+        region: RegionIdx,
+        words: &mut [u64; WORDS_PER_REGION],
+    ) -> u32;
+
+    /// Linear scan of one PTE cache line, returning `(mask, examined)`:
+    /// bit `i` of `mask` = vpn `line*8 + i` was present and accessed (bits
+    /// are cleared). The eviction scan's spatial lookaround primitive.
+    fn scan_line_mask(&mut self, space: AsId, line: LineIdx) -> (u8, u32);
 
     /// Global key of a page by address.
     fn key_at(&self, space: AsId, vpn: Vpn) -> PageKey;
 
-    /// The address spaces the aging walk must cover.
-    fn space_ids(&self) -> Vec<AsId>;
+    /// Number of address spaces the aging walk must cover; spaces are
+    /// identified densely as `AsId(0..count)`.
+    fn space_count(&self) -> u16;
 
     /// Number of PMD regions in a space's leaf table.
     fn region_count(&self, space: AsId) -> u32;
@@ -57,7 +71,7 @@ pub fn region_of_vpn(vpn: Vpn) -> RegionIdx {
 #[doc(hidden)]
 pub mod tests_support {
     use super::*;
-    use pagesim_mem::{EntropyClass, PTES_PER_LINE, PTES_PER_REGION};
+    use pagesim_mem::{EntropyClass, PTES_PER_LINE, PTES_PER_REGION, PTES_PER_WORD};
 
     /// A fake single-space memory with directly settable bits.
     #[derive(Debug)]
@@ -70,6 +84,7 @@ pub mod tests_support {
         /// Counters so tests can assert on probe traffic.
         pub rmap_probes: u64,
         pub lines_scanned: u64,
+        pub regions_scanned: u64,
     }
 
     impl FakeMem {
@@ -83,6 +98,7 @@ pub mod tests_support {
                 file: vec![false; pages as usize],
                 rmap_probes: 0,
                 lines_scanned: 0,
+                regions_scanned: 0,
             }
         }
 
@@ -138,24 +154,44 @@ pub mod tests_support {
             std::mem::take(&mut self.accessed[key as usize])
         }
 
-        fn scan_line(&mut self, _space: AsId, line: LineIdx, out: &mut Vec<PageKey>) -> u32 {
-            self.lines_scanned += 1;
-            let start = line * PTES_PER_LINE as u32;
-            let end = (start + PTES_PER_LINE as u32).min(self.pages);
+        fn scan_region(
+            &mut self,
+            _space: AsId,
+            region: RegionIdx,
+            words: &mut [u64; WORDS_PER_REGION],
+        ) -> u32 {
+            self.regions_scanned += 1;
+            let start = region * PTES_PER_REGION as u32;
+            let end = (start + PTES_PER_REGION as u32).min(self.pages);
+            *words = [0; WORDS_PER_REGION];
             for k in start..end {
                 if self.resident[k as usize] && std::mem::take(&mut self.accessed[k as usize]) {
-                    out.push(k);
+                    let bit = k - start;
+                    words[bit as usize / PTES_PER_WORD] |= 1 << (bit as usize % PTES_PER_WORD);
                 }
             }
             end.saturating_sub(start)
+        }
+
+        fn scan_line_mask(&mut self, _space: AsId, line: LineIdx) -> (u8, u32) {
+            self.lines_scanned += 1;
+            let start = line * PTES_PER_LINE as u32;
+            let end = (start + PTES_PER_LINE as u32).min(self.pages);
+            let mut mask = 0u8;
+            for k in start..end {
+                if self.resident[k as usize] && std::mem::take(&mut self.accessed[k as usize]) {
+                    mask |= 1 << (k - start);
+                }
+            }
+            (mask, end.saturating_sub(start))
         }
 
         fn key_at(&self, _space: AsId, vpn: Vpn) -> PageKey {
             vpn
         }
 
-        fn space_ids(&self) -> Vec<AsId> {
-            vec![AsId(0)]
+        fn space_count(&self) -> u16 {
+            1
         }
 
         fn region_count(&self, _space: AsId) -> u32 {

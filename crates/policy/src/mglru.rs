@@ -29,7 +29,10 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use pagesim_engine::Nanos;
-use pagesim_mem::{PageKey, LINES_PER_REGION, PTES_PER_LINE};
+use pagesim_mem::{
+    AsId, PageKey, LINES_PER_REGION, PTES_PER_LINE, PTES_PER_REGION, PTES_PER_WORD,
+    WORDS_PER_REGION,
+};
 
 use crate::bloom::DualBloom;
 use crate::cost::CostModel;
@@ -206,8 +209,9 @@ impl Gen {
 /// over wall-clock time like the kernel's real walks do.
 #[derive(Debug)]
 struct WalkState {
-    spaces: Vec<pagesim_mem::AsId>,
-    space_i: usize,
+    /// Spaces are identified densely as `AsId(0..space_count)`.
+    space_count: u16,
+    space_i: u16,
     region: u32,
     /// Snapshot of "is the current filter usable" at walk start.
     filter_unusable: bool,
@@ -230,9 +234,6 @@ pub struct MgLru {
     needs_aging: bool,
     walk: Option<WalkState>,
     stats: PolicyStats,
-    /// Reusable buffer for spatial PTE-line scans during eviction, so the
-    /// reclaim path never allocates after construction.
-    scan_scratch: Vec<PageKey>,
 }
 
 impl MgLru {
@@ -260,7 +261,6 @@ impl MgLru {
             needs_aging: true,
             walk: None,
             stats: PolicyStats::default(),
-            scan_scratch: Vec::with_capacity(PTES_PER_LINE),
         }
     }
 
@@ -348,7 +348,7 @@ impl MgLru {
             self.gens.push_back(Gen::new(next));
         }
         self.walk = Some(WalkState {
-            spaces: mem.space_ids(),
+            space_count: mem.space_count(),
             space_i: 0,
             region: 0,
             // When the current filter is empty (bootstrap or an all-cold
@@ -361,7 +361,6 @@ impl MgLru {
     /// Returns `(cost, finished)`.
     fn walk_step(&mut self, mem: &mut dyn MemView, budget_ns: Nanos) -> (Nanos, bool) {
         let mut cost: Nanos = 0;
-        let mut scratch: Vec<PageKey> = Vec::with_capacity(PTES_PER_LINE);
         loop {
             if cost >= budget_ns {
                 return (cost, false);
@@ -372,18 +371,17 @@ impl MgLru {
                     return (cost, true);
                 };
                 loop {
-                    if ws.space_i >= ws.spaces.len() {
+                    if ws.space_i >= ws.space_count {
                         break;
                     }
-                    let space = ws.spaces[ws.space_i];
-                    if ws.region >= mem.region_count(space) {
+                    if ws.region >= mem.region_count(AsId(ws.space_i)) {
                         ws.space_i += 1;
                         ws.region = 0;
                         continue;
                     }
                     break;
                 }
-                if ws.space_i >= ws.spaces.len() {
+                if ws.space_i >= ws.space_count {
                     // Walk complete: rotate the bloom filters and publish
                     // the new generation state.
                     self.walk = None;
@@ -393,7 +391,7 @@ impl MgLru {
                     self.needs_aging = false;
                     return (cost, true);
                 }
-                let space = ws.spaces[ws.space_i];
+                let space = AsId(ws.space_i);
                 let region = ws.region;
                 ws.region += 1;
                 (space, region, ws.filter_unusable)
@@ -417,15 +415,24 @@ impl MgLru {
                 continue;
             }
             self.stats.regions_walked += 1;
+            // Harvest the whole region's accessed bits as 8 words, then
+            // visit only the set bits in ascending vpn order — the same
+            // visits, promotions, and *simulated* cost as a per-PTE walk
+            // (`examined` counts every PTE the scan covers), with host
+            // work proportional to the hot pages only.
+            let mut words = [0u64; WORDS_PER_REGION];
+            let examined = mem.scan_region(space, region, &mut words);
+            cost += examined as u64 * self.costs.pte_scan_ns;
+            self.stats.pte_scans += examined as u64;
             let mut accessed_in_region: u32 = 0;
-            let first_line = region * LINES_PER_REGION as u32;
-            for line in first_line..first_line + LINES_PER_REGION as u32 {
-                scratch.clear();
-                let examined = mem.scan_line(space, line, &mut scratch);
-                cost += examined as u64 * self.costs.pte_scan_ns;
-                self.stats.pte_scans += examined as u64;
-                accessed_in_region += scratch.len() as u32;
-                for &key in &scratch {
+            let region_base = region * PTES_PER_REGION as u32;
+            for (w, &word) in words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let vpn = region_base + w as u32 * PTES_PER_WORD as u32 + bits.trailing_zeros();
+                    bits &= bits - 1;
+                    accessed_in_region += 1;
+                    let key = mem.key_at(space, vpn);
                     if self.promote_to_youngest(key) {
                         cost += self.costs.list_op_ns;
                     }
@@ -561,9 +568,6 @@ impl Policy for MgLru {
         let mut out = ReclaimOutcome::default();
         let scan_cap = (want as u64 * 16).max(128);
         let mut sync_ages = 0;
-        // Detach the scratch buffer so the scan can fill it while `self`
-        // stays borrowable for promotions; reattached before returning.
-        let mut scratch = std::mem::take(&mut self.scan_scratch);
 
         'outer: while (out.victims.len() as u32) < want {
             self.advance_min_seq();
@@ -640,11 +644,15 @@ impl Policy for MgLru {
                     if self.cfg.spatial_scan {
                         let info = mem.page_info(key);
                         let line = pagesim_mem::line_of(info.vpn);
-                        scratch.clear();
-                        let examined = mem.scan_line(info.as_id, line, &mut scratch);
+                        let (mask, examined) = mem.scan_line_mask(info.as_id, line);
                         out.cpu_ns += examined as u64 * self.costs.pte_scan_ns;
                         self.stats.pte_scans += examined as u64;
-                        for &neighbor in &scratch {
+                        let line_base = line * PTES_PER_LINE as u32;
+                        let mut bits = mask;
+                        while bits != 0 {
+                            let vpn = line_base + bits.trailing_zeros();
+                            bits &= bits - 1;
+                            let neighbor = mem.key_at(info.as_id, vpn);
                             if neighbor != key && self.promote_to_youngest(neighbor) {
                                 out.cpu_ns += self.costs.list_op_ns;
                                 out.promoted += 1;
@@ -673,7 +681,6 @@ impl Policy for MgLru {
             self.needs_aging = true;
         }
         self.tiers.rebalance();
-        self.scan_scratch = scratch;
         out
     }
 

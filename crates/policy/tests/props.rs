@@ -2,11 +2,86 @@
 
 use proptest::prelude::*;
 
-use pagesim_mem::AsId;
+use pagesim_mem::{
+    AddressSpace, AsId, EntropyClass, LineIdx, PageArena, PageInfo, PageKey, RegionIdx, Vpn,
+    WORDS_PER_REGION,
+};
 use pagesim_policy::memview::tests_support::FakeMem;
 use pagesim_policy::{
     BloomFilter, ClockLru, CostModel, Links, MemView, MgLru, MgLruConfig, PageList, Policy,
 };
+
+/// Single-space [`MemView`] over the real word-level [`AddressSpace`]
+/// bitmaps — the production fast path, driven here head-to-head against
+/// [`FakeMem`], whose scans are naive per-PTE loops over `Vec<bool>`.
+struct BitmapMem {
+    space: AddressSpace,
+}
+
+impl BitmapMem {
+    fn new(pages: u32) -> Self {
+        let mut arena = PageArena::new();
+        BitmapMem {
+            space: AddressSpace::new(AsId(0), pages, &mut arena),
+        }
+    }
+}
+
+impl MemView for BitmapMem {
+    fn total_pages(&self) -> u32 {
+        self.space.pages()
+    }
+
+    fn page_info(&self, key: PageKey) -> PageInfo {
+        PageInfo {
+            as_id: AsId(0),
+            vpn: key,
+            file_backed: false,
+            entropy: EntropyClass::Text,
+        }
+    }
+
+    fn is_resident(&self, key: PageKey) -> bool {
+        self.space.pte(key).present()
+    }
+
+    fn is_dirty(&self, key: PageKey) -> bool {
+        self.space.pte(key).dirty()
+    }
+
+    fn rmap_test_clear_accessed(&mut self, key: PageKey) -> bool {
+        self.space.test_and_clear_accessed(key)
+    }
+
+    fn scan_region(
+        &mut self,
+        _space: AsId,
+        region: RegionIdx,
+        words: &mut [u64; WORDS_PER_REGION],
+    ) -> u32 {
+        self.space.scan_region(region, words)
+    }
+
+    fn scan_line_mask(&mut self, _space: AsId, line: LineIdx) -> (u8, u32) {
+        self.space.scan_line_mask(line)
+    }
+
+    fn key_at(&self, _space: AsId, vpn: Vpn) -> PageKey {
+        vpn
+    }
+
+    fn space_count(&self) -> u16 {
+        1
+    }
+
+    fn region_count(&self, _space: AsId) -> u32 {
+        self.space.regions()
+    }
+
+    fn region_present_count(&self, _space: AsId, region: RegionIdx) -> u32 {
+        self.space.region_present_count(region)
+    }
+}
 
 proptest! {
     /// PageList behaves exactly like a VecDeque under arbitrary op
@@ -206,6 +281,129 @@ proptest! {
                 evicted_cold >= evicted_hot,
                 "evicted {evicted_hot} hot vs {evicted_cold} cold"
             );
+        }
+    }
+}
+
+proptest! {
+    /// Observational equivalence of the word-level scan paths: MG-LRU
+    /// driven over the real bitmap-backed [`AddressSpace`] makes byte-for-
+    /// byte the same decisions — victims, order, scan/promotion counters,
+    /// charged CPU — as over the naive per-PTE [`FakeMem`] reference,
+    /// under arbitrary fault/touch/reclaim/age interleavings.
+    #[test]
+    fn mglru_word_scans_match_per_pte_reference(
+        ops in prop::collection::vec((0u8..5, 0u32..640), 1..250),
+        seed in 0u64..64,
+    ) {
+        let pages = 640u32; // > one region: exercises region stride + tail
+        let mut fake = FakeMem::new(pages);
+        let mut real = BitmapMem::new(pages);
+        let cfg = MgLruConfig { seed, ..MgLruConfig::kernel_default() };
+        let mut lru_f = MgLru::new(pages, cfg, CostModel::default());
+        let mut lru_r = MgLru::new(pages, cfg, CostModel::default());
+        let mut resident = vec![false; pages as usize];
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    if !resident[key as usize] {
+                        resident[key as usize] = true;
+                        fake.set_resident(key, true);
+                        fake.set_accessed(key, true);
+                        real.space.map(key, key);
+                        real.space.mark_accessed(key, false);
+                        lru_f.on_page_resident(key, false, &mut fake);
+                        lru_r.on_page_resident(key, false, &mut real);
+                    }
+                }
+                1 => {
+                    if resident[key as usize] {
+                        fake.set_accessed(key, true);
+                        real.space.mark_accessed(key, false);
+                    }
+                }
+                2 => {
+                    let out_f = lru_f.reclaim(4, &mut fake);
+                    let out_r = lru_r.reclaim(4, &mut real);
+                    prop_assert_eq!(&out_f.victims, &out_r.victims);
+                    prop_assert_eq!(out_f.cpu_ns, out_r.cpu_ns);
+                    prop_assert_eq!(out_f.scanned, out_r.scanned);
+                    prop_assert_eq!(out_f.promoted, out_r.promoted);
+                    for &v in &out_f.victims {
+                        resident[v as usize] = false;
+                        fake.set_resident(v, false);
+                        real.space.set_swapped(v, v);
+                        lru_f.on_page_evicted(v, &mut fake);
+                        lru_r.on_page_evicted(v, &mut real);
+                    }
+                }
+                3 => {
+                    prop_assert_eq!(lru_f.age_once(&mut fake), lru_r.age_once(&mut real));
+                }
+                _ => {
+                    if resident[key as usize] {
+                        lru_f.on_fd_access(key, &mut fake);
+                        lru_r.on_fd_access(key, &mut real);
+                    }
+                }
+            }
+            prop_assert_eq!(lru_f.stats(), lru_r.stats());
+            prop_assert_eq!(lru_f.min_seq(), lru_r.min_seq());
+            prop_assert_eq!(lru_f.max_seq(), lru_r.max_seq());
+            real.space
+                .check_bitmap_coherence()
+                .map_err(|e| format!("coherence: {e}"))?;
+        }
+    }
+
+    /// Same head-to-head for Clock, whose only scan primitive is the rmap
+    /// probe: the bitmap-first `test_and_clear_accessed` answers exactly
+    /// like the reference bit array.
+    #[test]
+    fn clock_rmap_probes_match_per_pte_reference(
+        ops in prop::collection::vec((0u8..3, 0u32..640), 1..250),
+    ) {
+        let pages = 640u32;
+        let mut fake = FakeMem::new(pages);
+        let mut real = BitmapMem::new(pages);
+        let mut clock_f = ClockLru::new(pages, CostModel::default());
+        let mut clock_r = ClockLru::new(pages, CostModel::default());
+        let mut resident = vec![false; pages as usize];
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    if !resident[key as usize] {
+                        resident[key as usize] = true;
+                        fake.set_resident(key, true);
+                        real.space.map(key, key);
+                        clock_f.on_page_resident(key, false, &mut fake);
+                        clock_r.on_page_resident(key, false, &mut real);
+                    }
+                }
+                1 => {
+                    if resident[key as usize] {
+                        fake.set_accessed(key, true);
+                        real.space.mark_accessed(key, false);
+                    }
+                }
+                _ => {
+                    let out_f = clock_f.reclaim(4, &mut fake);
+                    let out_r = clock_r.reclaim(4, &mut real);
+                    prop_assert_eq!(&out_f.victims, &out_r.victims);
+                    prop_assert_eq!(out_f.cpu_ns, out_r.cpu_ns);
+                    for &v in &out_f.victims {
+                        resident[v as usize] = false;
+                        fake.set_resident(v, false);
+                        real.space.clear_mapping(v);
+                        clock_f.on_page_evicted(v, &mut fake);
+                        clock_r.on_page_evicted(v, &mut real);
+                    }
+                }
+            }
+            prop_assert_eq!(clock_f.stats(), clock_r.stats());
+            real.space
+                .check_bitmap_coherence()
+                .map_err(|e| format!("coherence: {e}"))?;
         }
     }
 }

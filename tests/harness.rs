@@ -9,6 +9,7 @@ fn tiny_bench() -> Bench {
         trials: 2,
         footprint: 0.12,
         seed: 7,
+        page_compression: None,
     })
 }
 

@@ -12,6 +12,7 @@ fn bench() -> Bench {
         trials: 5,
         footprint: 0.25,
         seed: 0xBEEF,
+        page_compression: None,
     })
 }
 

@@ -12,6 +12,7 @@ fn bench() -> Bench {
         trials: 4,
         footprint: 0.25,
         seed: 0xFEED,
+        page_compression: None,
     })
 }
 
