@@ -8,6 +8,7 @@
 //!       [fig1 fig2 ... | faults | all]
 //! repro trace <fig> [--cell N] [--trial N] [--trace-out FILE]...
 //!       [--sample-interval NS] [--trace-events N] [--list]
+//! repro vmstat <fig>
 //! repro bench [--bench-scale quick|default] [--out FILE]
 //!       [--check FILE] [--min-samples N] [--max-samples N]
 //!       [--gate-slack F] [--gate-slack-scan F] [--commit SHA] [--list]
@@ -43,6 +44,13 @@
 //! figures, a machine-readable `{"pagesim_failure_report":...}` line on
 //! stderr, and a nonzero exit.
 //!
+//! The `vmstat` subcommand renders the `/proc/vmstat`-analog
+//! observability report for one figure: per cell, the Linux-named reclaim
+//! and working-set counters summed over trials, the merged
+//! refault-distance histogram, and trial 0's `lru_gen`-style policy dump.
+//! Like the figures, the report is byte-identical for any `--jobs` value
+//! and cache state (CI golden-diffs `vmstat_fig1.txt`).
+//!
 //! The `bench` subcommand runs the statistically-converged benchmark
 //! matrix (`pagesim_bench::repro_bench`): each metric is sampled until its
 //! 95% CI is narrower than 10% of the mean (hard cap ⇒ `converged: false`)
@@ -76,6 +84,7 @@ fn usage() -> ! {
          \x20            [--chaos SPEC] [fig1..fig12 | faults | all]\n\
          \x20      repro trace <fig> [--cell N] [--trial N] [--trace-out FILE]...\n\
          \x20            [--sample-interval NS] [--trace-events N] [--list]\n\
+         \x20      repro vmstat <fig>\n\
          \x20      repro bench [--bench-scale quick|default] [--out FILE]\n\
          \x20            [--check FILE] [--min-samples N] [--max-samples N]\n\
          \x20            [--gate-slack F] [--commit SHA] [--list]\n\
@@ -100,6 +109,10 @@ fn usage() -> ! {
          --sample-interval N sampler interval in simulated ns (default 10ms)\n\
          --trace-events N    event ring capacity (default 65536)\n\
          --list              print the figure's cells and exit\n\
+         \n\
+         vmstat subcommand:\n\
+         \x20  per-cell Linux-named reclaim/working-set counters, merged\n\
+         \x20  refault-distance histogram, and trial 0's lru_gen dump\n\
          \n\
          bench subcommand:\n\
          --bench-scale S     quick (CI smoke) or default (default: default)\n\
@@ -328,6 +341,13 @@ fn main() {
             jobs,
             list_cells,
         );
+        return;
+    }
+
+    if figs.first().map(String::as_str) == Some("vmstat") {
+        figs.remove(0);
+        let [fig] = figs.as_slice() else { usage() };
+        run_vmstat(fig, scale, jobs, cache_dir);
         return;
     }
 
@@ -571,6 +591,37 @@ fn run_bench_cmd(
             );
         }
     }
+}
+
+/// The `vmstat` subcommand: sweep one figure's cells, then render the
+/// `/proc/vmstat`-analog observability report on stdout. The report is a
+/// pure function of scale and figure — no timing lines — so it can be
+/// golden-diffed exactly like the figures themselves.
+fn run_vmstat(fig: &str, scale: Scale, jobs: usize, cache_dir: Option<std::path::PathBuf>) {
+    if experiments::figure_cells(fig).is_empty() {
+        eprintln!("repro vmstat: figure '{fig}' has no cell grid");
+        std::process::exit(2);
+    }
+    let bench = Bench::new(scale);
+    let opts = SweepOptions {
+        jobs,
+        cache_dir,
+        ..SweepOptions::default()
+    };
+    let t0 = std::time::Instant::now();
+    let outcome = run_sweep_resilient(&bench, &[fig.to_owned()], &opts);
+    eprintln!(
+        "# {} jobs={jobs} total_s={:.1}",
+        outcome.stats,
+        t0.elapsed().as_secs_f64()
+    );
+    if !outcome.failures.is_empty() || outcome.aborted {
+        // No point rendering holes: the report's counters would be partial
+        // sums. Surface the failures and bail like an incomplete figure run.
+        print_failure_report(&outcome);
+        std::process::exit(3);
+    }
+    print!("{}", pagesim_bench::vmstat::vmstat_report(&bench, fig));
 }
 
 /// The `trace` subcommand: render one figure with telemetry attached to a

@@ -24,6 +24,7 @@
 pub mod repro_bench;
 pub mod statline;
 pub mod sweep;
+pub mod vmstat;
 
 pub use pagesim::experiments::Scale;
 pub use statline::{ParsedStatLine, StatLine};

@@ -7,6 +7,10 @@
 //!   second for one fixed trial of each workload × policy cell (SSD, 50%
 //!   ratio). The simulation input is identical every sample — same seed,
 //!   same trial — so the samples measure pure host execution speed.
+//! * **`workingset_refault_distance_p50/<wl>/<policy>`** / **`_p99`** —
+//!   refault-distance percentiles (in evictions) from the same fixed
+//!   trial's shadow-entry histogram. Deterministic per trial, so these
+//!   gate working-set *behavior* drift rather than host speed.
 //! * **`fault_path_ns_per_op/<policy>`** / **`reclaim_batch_ns_per_op/<policy>`**
 //!   — mean host nanoseconds inside the kernel fault path and per reclaim
 //!   batch, from the `bench-counters` side channel
@@ -165,11 +169,34 @@ pub fn matrix(scale: &BenchScale) -> Vec<BenchProbe> {
             let query = CellQuery::healthy(wl, policy, SwapChoice::Ssd, 0.5);
             probes.push(BenchProbe {
                 label: format!("trial/{}/{}", wl.label(), policy.label()),
-                metrics: vec![MetricSpec {
-                    name: format!("pages_per_sec/{}/{}", wl.label(), policy.label()),
-                    unit: "pages/sec",
-                    direction: Direction::Higher,
-                }],
+                // pages_per_sec must stay the probe's first metric: the CI
+                // regression-gate smoke mutates metrics[0] of the history
+                // entry and expects a wall-time regression.
+                metrics: vec![
+                    MetricSpec {
+                        name: format!("pages_per_sec/{}/{}", wl.label(), policy.label()),
+                        unit: "pages/sec",
+                        direction: Direction::Higher,
+                    },
+                    MetricSpec {
+                        name: format!(
+                            "workingset_refault_distance_p50/{}/{}",
+                            wl.label(),
+                            policy.label()
+                        ),
+                        unit: "evictions",
+                        direction: Direction::Lower,
+                    },
+                    MetricSpec {
+                        name: format!(
+                            "workingset_refault_distance_p99/{}/{}",
+                            wl.label(),
+                            policy.label()
+                        ),
+                        unit: "evictions",
+                        direction: Direction::Lower,
+                    },
+                ],
                 kind: ProbeKind::Trial(query),
             });
         }
@@ -376,7 +403,20 @@ impl<'a> ProbeRunner<'a> {
                 let t0 = Instant::now();
                 let metrics = self.bench.run_trial(query, 0);
                 let secs = t0.elapsed().as_secs_f64().max(1e-9);
-                vec![metrics.accesses as f64 / secs]
+                // The refault-distance percentiles are a pure function of
+                // the trial (zero variance across samples), so they
+                // converge at the minimum sample count and gate any
+                // deterministic drift in working-set behavior.
+                let h = &metrics.workingset_refault_distance;
+                let (p50, p99) = if h.count() > 0 {
+                    (
+                        h.value_at_percentile(50.0) as f64,
+                        h.value_at_percentile(99.0) as f64,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                vec![metrics.accesses as f64 / secs, p50, p99]
             }
             ProbeKind::Counters(query, scan_metrics) => {
                 benchcounters::reset();
@@ -466,8 +506,17 @@ mod tests {
         let b = matrix_spec(&matrix(&BenchScale::quick()));
         assert_eq!(a, b);
         assert!(a.contains("pages_per_sec/tpch/clock\tpages/sec\thigher\ttrial/tpch/clock\n"));
+        assert!(a.contains(
+            "workingset_refault_distance_p50/tpch/clock\tevictions\tlower\ttrial/tpch/clock\n"
+        ));
+        assert!(a.contains(
+            "workingset_refault_distance_p99/ycsb-a/mglru\tevictions\tlower\ttrial/ycsb-a/mglru\n"
+        ));
         assert!(a.contains("sweep_wall_ms/cold\tms\tlower\tsweep/cold\n"));
         assert!(a.contains("sweep_wall_ms/warm\tms\tlower\tsweep/warm\n"));
+        // The trial probes' first metric must remain pages_per_sec (the CI
+        // gate smoke mutates the entry's metrics[0]).
+        assert!(a.starts_with("pages_per_sec/"));
     }
 
     #[test]

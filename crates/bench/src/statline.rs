@@ -153,8 +153,8 @@ mod tests {
         StatLine::new("sweep").push("k", "a b");
     }
 
-    /// The sweep summary rendered through this module is byte-identical
-    /// to the pre-refactor hand-rolled `write!` format.
+    /// The sweep summary's exact byte shape: the original hand-rolled
+    /// key set, grown append-only (`shadow`/`ws_refault` at the end).
     #[test]
     fn sweep_stats_display_format_is_unchanged() {
         let stats = crate::SweepStats {
@@ -168,6 +168,8 @@ mod tests {
             tmp_cleaned: 0,
             failed: 0,
             respawns: 0,
+            shadow: 128,
+            ws_refault: 9,
             plan_ms: 0,
             exec_ms: 41,
             merge_ms: 0,
@@ -176,7 +178,7 @@ mod tests {
             stats.to_string(),
             "sweep cells=2 trials=6 hits=0 misses=6 hit_rate=0.000 plan_ms=0 \
              exec_ms=41 merge_ms=0 resumed=0 retries=0 quarantined=0 \
-             tmp_cleaned=0 failed=0 respawns=0"
+             tmp_cleaned=0 failed=0 respawns=0 shadow=128 ws_refault=9"
         );
         let p = ParsedStatLine::parse(&stats.to_string()).unwrap();
         assert_eq!(p.prefix, "sweep");
@@ -202,13 +204,15 @@ mod tests {
             .push("quarantined", 0)
             .push("tmp_cleaned", 0)
             .push("failed", 0)
-            .push("respawns", 0);
+            .push("respawns", 0)
+            .push("shadow", 0)
+            .push("ws_refault", 0);
         let line = cold.to_string();
         assert_eq!(
             line,
             "sweep cells=2 trials=6 hits=0 misses=6 hit_rate=0.000 plan_ms=0 \
              exec_ms=41 merge_ms=0 resumed=3 retries=0 quarantined=0 \
-             tmp_cleaned=0 failed=0 respawns=0"
+             tmp_cleaned=0 failed=0 respawns=0 shadow=0 ws_refault=0"
         );
         // ` hits=0 ` and ` misses=0 ` match with surrounding spaces even
         // mid-line (the fields are never last), and `resumed=[1-9]` only

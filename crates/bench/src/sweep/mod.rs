@@ -145,6 +145,10 @@ pub struct SweepStats {
     pub failed: usize,
     /// Workers respawned after dying outside per-trial isolation.
     pub respawns: usize,
+    /// Shadow entries left at end-of-run, summed over merged trials.
+    pub shadow: u64,
+    /// Working-set refaults (shadow-entry hits), summed over merged trials.
+    pub ws_refault: u64,
     /// Wall time spent enumerating and deduplicating cells, in ms.
     pub plan_ms: u64,
     /// Wall time spent executing trials (cache reads included), in ms.
@@ -168,7 +172,7 @@ impl std::fmt::Display for SweepStats {
     /// One stable-format summary line, greppable by CI:
     /// `sweep cells=2 trials=6 hits=0 misses=6 hit_rate=0.000 plan_ms=0
     /// exec_ms=41 merge_ms=0 resumed=0 retries=0 quarantined=0
-    /// tmp_cleaned=0 failed=0 respawns=0`.
+    /// tmp_cleaned=0 failed=0 respawns=0 shadow=0 ws_refault=0`.
     /// Tools match on the `key=value` tokens; the key set only grows.
     /// Built on [`crate::statline::StatLine`] so this line and the bench
     /// summary can never drift apart in shape.
@@ -187,7 +191,9 @@ impl std::fmt::Display for SweepStats {
             .push("quarantined", self.quarantined)
             .push("tmp_cleaned", self.tmp_cleaned)
             .push("failed", self.failed)
-            .push("respawns", self.respawns);
+            .push("respawns", self.respawns)
+            .push("shadow", self.shadow)
+            .push("ws_refault", self.ws_refault);
         write!(f, "{line}")
     }
 }
@@ -516,6 +522,10 @@ pub fn run_sweep_resilient(bench: &Bench, figs: &[String], opts: &SweepOptions) 
             let cell_slots = &mut slots[ci * trials..(ci + 1) * trials];
             if cell_slots.iter().all(|s| s.is_some()) {
                 let runs: Vec<RunMetrics> = cell_slots.iter_mut().filter_map(|s| s.take()).collect();
+                for m in &runs {
+                    stats.shadow += m.shadow_entries;
+                    stats.ws_refault += m.workingset_refault;
+                }
                 let errs = runs.iter().filter(|m| m.error.is_some()).count();
                 if let Some(e) = runs.iter().find_map(|m| m.error) {
                     degraded.push(DegradedCell {

@@ -71,6 +71,7 @@ use pagesim_workloads::{AccessStream, Op, ReqClass, Workload};
 use crate::config::{SwapChoice, SystemConfig};
 use crate::mem_state::MemState;
 use crate::metrics::RunMetrics;
+use crate::workingset::ShadowArena;
 
 /// Records a trace event when a tracer is attached and enabled. Expands
 /// to nothing without the `trace` feature, so release figure builds carry
@@ -251,6 +252,11 @@ pub struct Kernel {
     io_pinned: BTreeSet<FrameId>,
     /// Frames held by each active pressure step's balloon.
     balloon: Vec<Vec<FrameId>>,
+    /// Shadow entries for evicted pages (`workingset.c` analog): one
+    /// preallocated slot per page, recorded on eviction and consumed on
+    /// refault to yield the refault distance. Purely observational —
+    /// never feeds back into policy or timing.
+    shadow: ShadowArena,
     metrics: RunMetrics,
     /// Telemetry collector, attached via [`Kernel::set_tracer`]. Boxed so
     /// the untraced kernel pays one pointer of space; `None` (the
@@ -392,6 +398,7 @@ impl Kernel {
             stall_streak: 0,
             io_pinned: BTreeSet::new(),
             balloon: vec![Vec::new(); pressure.len()],
+            shadow: ShadowArena::new(total_pages as usize),
             metrics,
             #[cfg(feature = "trace")]
             tracer: None,
@@ -505,6 +512,14 @@ impl Kernel {
             writeback_frames: self.mem.phys.writeback_frames() as u64,
             gens: self.policy.occupancy(),
             cores,
+            ws_refault: self.metrics.workingset_refault,
+            ws_activate: self.metrics.workingset_activate,
+            ws_restore: self.metrics.workingset_restore,
+            lru_gen: {
+                let mut dump = String::new();
+                self.policy.introspect(&mut dump);
+                dump
+            },
         }
     }
 
@@ -514,6 +529,8 @@ impl Kernel {
         self.metrics.runtime_ns = self.finish_time.as_ns();
         self.metrics.policy = self.policy.stats();
         self.metrics.swap_stats = self.swap.stats();
+        self.metrics.shadow_entries = self.shadow.len();
+        self.policy.introspect(&mut self.metrics.lru_gen);
         let s = self.sched.stats();
         self.metrics.app_cpu_ns = s.app_cpu;
         self.metrics.kernel_cpu_ns = s.kernel_cpu;
@@ -1036,6 +1053,21 @@ impl Kernel {
             let refault = self.mem.evicted_before[key as usize];
             self.policy.on_page_resident(key, refault, &mut self.mem);
         }
+        // Working-set accounting (`workingset.c`): consume the shadow
+        // entry and classify the refault by its distance. `activate` when
+        // the page would have stayed resident in a memory-capacity-sized
+        // list; `restore` when the clean swap-cache copy is kept.
+        if let Some(entry) = self.shadow.take(key) {
+            let distance = self.metrics.evictions - entry.eviction_seq;
+            self.metrics.workingset_refault += 1;
+            self.metrics.workingset_refault_distance.record(distance);
+            if distance <= self.metrics.capacity_frames as u64 {
+                self.metrics.workingset_activate += 1;
+            }
+            if slot.is_some() && !write {
+                self.metrics.workingset_restore += 1;
+            }
+        }
         // `evicted_before` is monotonic, so reading it again here gives the
         // same `refault` both branches above saw.
         #[cfg(feature = "trace")]
@@ -1061,6 +1093,7 @@ impl Kernel {
         for _ in 0..2 {
             let bench_timer = crate::benchcounters::time_reclaim();
             let out = self.policy.reclaim(self.cfg.direct_batch, &mut self.mem);
+            self.metrics.pgscan_direct += out.scanned;
             *used += out.cpu_ns;
             let vt = self.now + *used;
             *used += self.apply_evictions(&out.victims, vt);
@@ -1157,6 +1190,15 @@ impl Kernel {
             self.policy.on_page_evicted(key, &mut self.mem);
             self.mem.evicted_before[key as usize] = true;
             self.metrics.evictions += 1;
+            if info.file_backed {
+                self.metrics.pgsteal_file += 1;
+            } else {
+                self.metrics.pgsteal_anon += 1;
+            }
+            // Shadow entry (`workingset.c`): snapshot the eviction clock so
+            // a refault can compute its distance in evictions.
+            self.shadow
+                .record(key, (vt + cpu).as_ns(), self.metrics.evictions);
         }
         #[cfg(feature = "sanitize")]
         self.check_invariants();
@@ -1257,6 +1299,11 @@ impl Kernel {
             let (space, vpn) = self.mem.locate(key);
             self.policy.forget(key);
             self.mem.space_mut(space).clear_mapping(vpn);
+            // A dropped page's shadow can never refault meaningfully: the
+            // contents are gone (`workingset_nodereclaim` analog).
+            if self.shadow.reclaim(key) {
+                self.metrics.workingset_nodereclaim += 1;
+            }
             if let Some(slot) = self.mem.backing[key as usize].take() {
                 self.slot_ready.remove(&slot);
                 self.swap.release(slot);
@@ -1322,6 +1369,7 @@ impl Kernel {
             }
             let bench_timer = crate::benchcounters::time_reclaim();
             let out = self.policy.reclaim(self.cfg.kswapd_batch, &mut self.mem);
+            self.metrics.pgscan_kswapd += out.scanned;
             used += out.cpu_ns;
             let vt = self.now + used;
             used += self.apply_evictions(&out.victims, vt);

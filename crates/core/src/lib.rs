@@ -46,6 +46,7 @@ mod mem_state;
 mod metrics;
 pub mod report;
 pub mod stablehash;
+pub mod workingset;
 
 pub use config::{AppCosts, FaultConfig, PolicyChoice, SwapChoice, SystemConfig};
 pub use failure::{CellFailure, FailureKind};

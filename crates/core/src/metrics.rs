@@ -76,6 +76,32 @@ pub struct RunMetrics {
     pub eviction_aborts: u64,
     /// Frames grabbed by memory-pressure balloon steps.
     pub pressure_frames_taken: u64,
+    /// Pages scanned by the background reclaim thread (`pgscan_kswapd`).
+    pub pgscan_kswapd: u64,
+    /// Pages scanned by direct reclaim (`pgscan_direct`).
+    pub pgscan_direct: u64,
+    /// Anonymous pages reclaimed (`pgsteal_anon`).
+    pub pgsteal_anon: u64,
+    /// File-backed pages reclaimed (`pgsteal_file`).
+    pub pgsteal_file: u64,
+    /// Refaults with a live shadow entry (`workingset_refault`).
+    pub workingset_refault: u64,
+    /// Refaults within one memory-capacity of evictions
+    /// (`workingset_activate`).
+    pub workingset_activate: u64,
+    /// Refaults that restored a clean swap-cache copy without device I/O
+    /// pending (`workingset_restore` analog: the slot is kept).
+    pub workingset_restore: u64,
+    /// Shadow entries dropped when their task was killed
+    /// (`workingset_nodereclaim` analog: shadow reclaim).
+    pub workingset_nodereclaim: u64,
+    /// Shadow entries still live at run end.
+    pub shadow_entries: u64,
+    /// Refault-distance distribution: evictions between a page's eviction
+    /// and its refault (the `workingset.c` distance, in eviction counts).
+    pub workingset_refault_distance: LatencyHistogram,
+    /// Final `Policy::introspect` dump (`lru_gen` debugfs analog).
+    pub lru_gen: String,
     /// First simulation-state violation, if any (the run degrades instead
     /// of panicking).
     pub error: Option<SimError>,
@@ -105,6 +131,25 @@ impl RunMetrics {
         self.backoff_ns + self.swap_stats.stall_delay_ns
     }
 
+    /// The `/proc/vmstat`-analog counter registry: every counter under its
+    /// Linux name, in `/proc/vmstat` order. `pgmajfault` is the existing
+    /// major-fault count; the rest are incremented at the same kernel
+    /// sites Linux increments them (see the DESIGN.md mapping table).
+    pub fn vmstat(&self) -> [(&'static str, u64); 10] {
+        [
+            ("pgmajfault", self.major_faults),
+            ("pgscan_kswapd", self.pgscan_kswapd),
+            ("pgscan_direct", self.pgscan_direct),
+            ("pgsteal_anon", self.pgsteal_anon),
+            ("pgsteal_file", self.pgsteal_file),
+            ("workingset_refault", self.workingset_refault),
+            ("workingset_activate", self.workingset_activate),
+            ("workingset_restore", self.workingset_restore),
+            ("workingset_nodereclaim", self.workingset_nodereclaim),
+            ("nr_shadow_entries", self.shadow_entries),
+        ]
+    }
+
     /// Serializes every field to the versioned line format the on-disk
     /// cell cache stores ([`RunMetrics::from_cache_text`] inverts it
     /// exactly; the roundtrip test in this module covers every field).
@@ -115,6 +160,12 @@ impl RunMetrics {
         self.write_scalars(&mut out);
         write_histogram(&mut out, "read_latency", &self.read_latency);
         write_histogram(&mut out, "write_latency", &self.write_latency);
+        write_histogram(
+            &mut out,
+            "workingset_refault_distance",
+            &self.workingset_refault_distance,
+        );
+        let _ = writeln!(out, "lru_gen {}", escape_line(&self.lru_gen));
         let _ = writeln!(out, "error {}", self.error.map_or("-", |e| e.name()));
         out.push_str("end\n");
         out
@@ -132,6 +183,9 @@ impl RunMetrics {
         m.read_scalars(&mut lines)?;
         m.read_latency = parse_histogram(lines.next()?, "read_latency")?;
         m.write_latency = parse_histogram(lines.next()?, "write_latency")?;
+        m.workingset_refault_distance =
+            parse_histogram(lines.next()?, "workingset_refault_distance")?;
+        m.lru_gen = unescape_line(lines.next()?.strip_prefix("lru_gen ")?)?;
         match lines.next()?.strip_prefix("error ")? {
             "-" => m.error = None,
             name => m.error = Some(SimError::from_name(name)?),
@@ -145,7 +199,7 @@ impl RunMetrics {
 
 /// Version tag inside every cached cell file; bump on any layout change so
 /// stale caches read as misses instead of mis-parses.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Expands a symmetric writer/reader pair over the listed scalar fields.
 /// One list drives both directions, so serializer and parser cannot drift;
@@ -204,6 +258,15 @@ codec_scalars!(
     kill_freed_frames,
     eviction_aborts,
     pressure_frames_taken,
+    pgscan_kswapd,
+    pgscan_direct,
+    pgsteal_anon,
+    pgsteal_file,
+    workingset_refault,
+    workingset_activate,
+    workingset_restore,
+    workingset_nodereclaim,
+    shadow_entries,
     policy.pte_scans,
     policy.rmap_walks,
     policy.promotions,
@@ -248,6 +311,37 @@ fn parse_histogram(line: &str, name: &str) -> Option<LatencyHistogram> {
         return None;
     }
     LatencyHistogram::from_parts(&sparse, sum, min, max)
+}
+
+/// Flattens a multi-line introspection dump onto one cache line
+/// (`\` → `\\`, newline → `\n`); [`unescape_line`] inverts it exactly.
+fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_line(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            _ => return None,
+        }
+    }
+    Some(out)
 }
 
 /// Runs one `(config, workload)` cell.
@@ -490,6 +584,15 @@ mod tests {
         stamp(&mut m.kill_freed_frames);
         stamp(&mut m.eviction_aborts);
         stamp(&mut m.pressure_frames_taken);
+        stamp(&mut m.pgscan_kswapd);
+        stamp(&mut m.pgscan_direct);
+        stamp(&mut m.pgsteal_anon);
+        stamp(&mut m.pgsteal_file);
+        stamp(&mut m.workingset_refault);
+        stamp(&mut m.workingset_activate);
+        stamp(&mut m.workingset_restore);
+        stamp(&mut m.workingset_nodereclaim);
+        stamp(&mut m.shadow_entries);
         stamp(&mut m.policy.pte_scans);
         stamp(&mut m.policy.rmap_walks);
         stamp(&mut m.policy.promotions);
@@ -509,6 +612,9 @@ mod tests {
         m.read_latency.record(123);
         m.read_latency.record(456_789);
         m.write_latency.record(7);
+        m.workingset_refault_distance.record(42);
+        m.workingset_refault_distance.record(9_001);
+        m.lru_gen = "memcg 0\n gen 3 age 2\\tier 0\n".to_string();
         m.error = Some(SimError::Deadlock);
         let back = RunMetrics::from_cache_text(&m.to_cache_text()).expect("parse");
         assert_eq!(format!("{m:?}"), format!("{back:?}"));

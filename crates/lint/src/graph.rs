@@ -30,8 +30,8 @@ pub const HOT_ROOTS: &[&str] = &[
 ];
 
 /// `Policy` trait methods that run on the fault/reclaim path. `name`,
-/// `stats`, `occupancy`, and `check_invariants` are reporting/debug
-/// surface and deliberately excluded from the cone.
+/// `stats`, `occupancy`, `introspect`, and `check_invariants` are
+/// reporting/debug surface and deliberately excluded from the cone.
 pub const POLICY_HOT_METHODS: &[&str] = &[
     "on_page_resident",
     "on_page_evicted",

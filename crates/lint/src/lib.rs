@@ -81,7 +81,7 @@ pub use scrub::scrub;
 
 use graph::{Graph, Reach};
 use parse::ParsedFile;
-use scrub::{strip_cfg_test, LineIndex};
+use scrub::{strip_cfg_gated, LineIndex};
 
 /// The enforced rules.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -341,7 +341,7 @@ fn is_allowed(annotations: &BTreeMap<u32, Vec<(String, bool)>>, rule: Rule, line
 pub fn lint_source(rules: RuleSet, file: &str, source: &str) -> Vec<Finding> {
     let annotations = allow_annotations(source);
     let mut text = scrub(source);
-    strip_cfg_test(&mut text);
+    strip_cfg_gated(&mut text, source);
     let lines = LineIndex::new(&text);
     let mut constructs = Vec::new();
     if rules.hash_iter {
@@ -502,7 +502,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
                 report.files_scanned += 1;
                 per_file.extend(lint_source(rules, &rel, &source));
                 let mut text = scrub(&source);
-                strip_cfg_test(&mut text);
+                strip_cfg_gated(&mut text, &source);
                 let ann = allow_annotations(&source);
                 // U1 applies to every workspace crate (vendor/ unscanned).
                 let lines = LineIndex::new(&text);
@@ -673,6 +673,28 @@ mod tests {
                    fn t() { let _ = rand::thread_rng(); }\n\
                    }\n";
         assert!(lint_source(SIM, "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sanitize_gated_items_are_exempt() {
+        // Sanitizer-only impls, statements, and struct fields are compiled
+        // out of figure runs; the lint strips them like cfg(test) items.
+        let src = "struct S { m: std::collections::HashMap<u32, u32>,\n\
+                   #[cfg(feature = \"sanitize\")]\n\
+                   tick: std::cell::Cell<u64>,\n\
+                   }\n\
+                   #[cfg(feature = \"sanitize\")]\n\
+                   impl S { fn check(&self) { for x in self.m.values() { drop(x); } } }\n\
+                   #[cfg(any(test, feature = \"sanitize\"))]\n\
+                   fn audit() { let _ = std::time::SystemTime::now(); }\n\
+                   impl S { fn hot(&mut self) { self.m.insert(1, 2); } }\n";
+        assert!(lint_source(SIM, "x.rs", src).is_empty(), "{:?}", lint_source(SIM, "x.rs", src));
+        // A marker mentioned inside a comment or string is not an
+        // attribute: the item after it still lints.
+        let commented = "// #[cfg(feature = \"sanitize\")] strips the next item\n\
+                         struct S { m: std::collections::HashMap<u32, u32> }\n\
+                         impl S { fn f(&self) { for x in self.m.values() { drop(x); } } }\n";
+        assert_eq!(lint_source(SIM, "x.rs", commented).len(), 1);
     }
 
     #[test]

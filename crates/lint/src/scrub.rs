@@ -1,5 +1,5 @@
-//! Source preparation: comment/string scrubbing, `#[cfg(test)]`
-//! stripping, line mapping, and shared token helpers.
+//! Source preparation: comment/string scrubbing, stripping of test- and
+//! sanitize-gated items, line mapping, and shared token helpers.
 //!
 //! Everything downstream — the per-file rule passes, the item parser, and
 //! the call graph — operates on *scrubbed* text: comments and string/char
@@ -164,17 +164,41 @@ pub(crate) fn prev_is_ident(out: &[u8]) -> bool {
         .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
 }
 
-/// Blanks every `#[cfg(test)]` item (test modules, test-only helpers) in
-/// scrubbed source: test code may iterate hashes or unwrap freely — it
-/// never feeds figure output.
-pub(crate) fn strip_cfg_test(scrubbed: &mut [u8]) {
-    const MARKER: &[u8] = b"#[cfg(test)]";
+/// Attribute forms whose annotated items are stripped before linting:
+/// test-gated and sanitizer-gated code never feeds figure output, so it
+/// may iterate hashes, allocate on hot paths, or unwrap freely.
+const STRIPPED_CFG_MARKERS: [&str; 3] = [
+    "#[cfg(test)]",
+    "#[cfg(feature = \"sanitize\")]",
+    "#[cfg(any(test, feature = \"sanitize\"))]",
+];
+
+/// Blanks every test- or sanitize-gated item (test modules, invariant
+/// checkers, sanitizer-only fields) in scrubbed source. The sanitize
+/// markers contain a string literal — blanked in the scrubbed text — so
+/// markers are located in the *original* source (`scrub` is
+/// byte-preserving, offsets coincide) and confirmed real by the `#`
+/// surviving at the same scrubbed offset (a mention inside a comment or
+/// string is all spaces there).
+pub(crate) fn strip_cfg_gated(scrubbed: &mut [u8], original: &str) {
+    for marker in STRIPPED_CFG_MARKERS {
+        strip_marker(scrubbed, original.as_bytes(), marker.as_bytes());
+    }
+}
+
+fn strip_marker(scrubbed: &mut [u8], original: &[u8], marker: &[u8]) {
     let mut i = 0;
-    while let Some(pos) = find_from(scrubbed, MARKER, i) {
-        let mut j = pos + MARKER.len();
+    while let Some(pos) = find_from(original, marker, i) {
+        i = pos + marker.len();
+        if scrubbed.get(pos) != Some(&b'#') {
+            continue;
+        }
+        let mut j = pos + marker.len();
         // Blank from the attribute to the end of the annotated item: the
-        // matching close of its first brace, or a semicolon that comes
-        // first (e.g. a `use`).
+        // `}` closing its first brace, or a `;` (statement, `use`) or `,`
+        // (struct field) at bracket depth zero. Parens and square
+        // brackets count toward depth so argument-list and attribute
+        // commas (`f(a, b)`, `#[derive(Clone, Debug)]`) never terminate.
         let mut depth = 0usize;
         let end;
         loop {
@@ -183,7 +207,7 @@ pub(crate) fn strip_cfg_test(scrubbed: &mut [u8]) {
                 break;
             }
             match scrubbed[j] {
-                b'{' => depth += 1,
+                b'{' | b'(' | b'[' => depth += 1,
                 b'}' => {
                     depth = depth.saturating_sub(1);
                     if depth == 0 {
@@ -191,7 +215,8 @@ pub(crate) fn strip_cfg_test(scrubbed: &mut [u8]) {
                         break;
                     }
                 }
-                b';' if depth == 0 => {
+                b')' | b']' => depth = depth.saturating_sub(1),
+                b';' | b',' if depth == 0 => {
                     end = j + 1;
                     break;
                 }

@@ -140,6 +140,18 @@ pub trait Policy {
         Vec::new()
     }
 
+    /// Appends a `/sys/kernel/debug/lru_gen`-style introspection dump to
+    /// `out`: one line per internal structure, integers only (no floats,
+    /// so reports diff bit-identically across hosts). MG-LRU dumps
+    /// per-generation sequence numbers, ages, and sizes plus per-tier
+    /// refault windows; Clock dumps its hand position and sweep stats.
+    /// Reporting surface only — never called on the simulation's hot
+    /// path, and implementations must not mutate policy state. The
+    /// default writes nothing (no internals to show).
+    fn introspect(&self, out: &mut String) {
+        let _ = out;
+    }
+
     /// DEBUG_VM-style structural self-check (the `sanitize` feature).
     /// Returns the number of pages the policy currently tracks so the
     /// kernel can cross-check it against resident PTEs, or `None` when the

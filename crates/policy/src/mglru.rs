@@ -713,6 +713,40 @@ impl Policy for MgLru {
             .collect()
     }
 
+    // Mirrors `/sys/kernel/debug/lru_gen`: one line per generation with
+    // its age (in generations, youngest = 0) and per-list sizes, followed
+    // by the tier controller's refault windows. Integers only.
+    fn introspect(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let max_seq = self.max_seq();
+        let _ = writeln!(
+            out,
+            "policy {} min_seq {} max_seq {} nr_gens {}",
+            self.name(),
+            self.min_seq(),
+            max_seq,
+            self.nr_gens()
+        );
+        for g in &self.gens {
+            let _ = write!(
+                out,
+                " gen {} age {} anon {} file",
+                g.seq,
+                max_seq - g.seq,
+                g.anon.len()
+            );
+            for tier in &g.file {
+                let _ = write!(out, " {}", tier.len());
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, " tiers protect_from {}", self.tiers.protect_from());
+        for t in 0..MAX_TIERS {
+            let (evicted, refaulted) = self.tiers.window(t);
+            let _ = writeln!(out, " tier {t} evicted {evicted} refaulted {refaulted}");
+        }
+    }
+
     #[cfg(feature = "sanitize")]
     fn check_invariants(&self) -> Option<u64> {
         let min_seq = self.min_seq();
@@ -828,6 +862,29 @@ mod tests {
         assert_eq!(occ.iter().map(|&(_, n)| n).sum::<u64>(), 8);
         // Oldest first, sequence numbers ascending.
         assert!(occ.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn introspect_dumps_generations_and_tiers() {
+        let (mut lru, mut mem) = setup(64, 8, MgLruConfig::kernel_default());
+        lru.age_once(&mut mem);
+        let mut dump = String::new();
+        lru.introspect(&mut dump);
+        assert!(
+            dump.starts_with("policy mglru min_seq 0 max_seq 2 nr_gens 3\n"),
+            "{dump}"
+        );
+        // One line per generation, youngest has age 0, oldest the largest.
+        assert!(dump.contains(" gen 0 age 2 anon "), "{dump}");
+        assert!(dump.contains(" gen 2 age 0 anon "), "{dump}");
+        assert!(dump.contains(" tiers protect_from 4\n"), "{dump}");
+        for t in 0..MAX_TIERS {
+            assert!(dump.contains(&format!(" tier {t} evicted ")), "{dump}");
+        }
+        // Pure reporting: a second dump is identical.
+        let mut again = String::new();
+        lru.introspect(&mut again);
+        assert_eq!(dump, again);
     }
 
     #[test]

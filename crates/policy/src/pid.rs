@@ -133,6 +133,13 @@ impl TierBalancer {
         }
     }
 
+    /// Raw `(evicted, refaulted)` counts for `tier` over the current
+    /// observation window — integers for introspection dumps (the derived
+    /// float rate stays private to the controller).
+    pub fn window(&self, tier: usize) -> (u64, u64) {
+        (self.evicted[tier], self.refaulted[tier])
+    }
+
     /// Whether eviction must spare pages of `tier`.
     pub fn is_protected(&self, tier: usize) -> bool {
         tier >= self.protect_from && tier > 0

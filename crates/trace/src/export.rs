@@ -41,17 +41,21 @@ fn micros(ns: u64) -> String {
 }
 
 impl TraceData {
-    /// Serializes to JSON Lines: one meta record, every sample in time
-    /// order, every retained event in time order, and a trailing end
-    /// record with totals. This is the format the checked-in schema
-    /// (`schema/trace-jsonl.schema`) validates.
+    /// Serializes to JSON Lines: one meta record, then per sample boundary
+    /// a `sample` record plus its `workingset` and `lru_gen` companions,
+    /// every retained event in time order, and a trailing end record with
+    /// totals. This is the format the checked-in schema
+    /// (`schema/trace-jsonl.schema`) validates. `schema_version` names the
+    /// record vocabulary (bumped to 2 with the workingset/lru_gen records)
+    /// so consumers detect the format change instead of silently skipping
+    /// unknown lines.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         let m = &self.meta;
         let _ = writeln!(
             out,
             concat!(
-                "{{\"type\":\"meta\",\"format_version\":1,\"ident\":{},",
+                "{{\"type\":\"meta\",\"format_version\":2,\"schema_version\":2,\"ident\":{},",
                 "\"content_hash\":\"{:016x}\",\"trial\":{},\"seed\":{},\"cores\":{},",
                 "\"sample_interval_ns\":{},\"policy\":{},\"workload\":{}}}"
             ),
@@ -95,6 +99,23 @@ impl TraceData {
                 s.writeback_frames,
                 gens,
                 cores,
+            );
+            let _ = writeln!(
+                out,
+                concat!(
+                    "{{\"type\":\"workingset\",\"t_ns\":{},\"refault\":{},",
+                    "\"activate\":{},\"restore\":{}}}"
+                ),
+                s.t_ns,
+                s.ws_refault,
+                s.ws_activate,
+                s.ws_restore,
+            );
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"lru_gen\",\"t_ns\":{},\"dump\":{}}}",
+                s.t_ns,
+                json_escape(&s.lru_gen),
             );
         }
         for (t_ns, ev) in &self.events {
@@ -407,6 +428,10 @@ mod tests {
             writeback_frames: 4,
             gens: vec![(2, 50), (3, 70)],
             cores: vec![CoreOcc::App(0), CoreOcc::Aging],
+            ws_refault: 1,
+            ws_activate: 1,
+            ws_restore: 0,
+            lru_gen: "policy mglru min_seq 2 max_seq 3 nr_gens 2\n gen 2 age 1\n".to_owned(),
         });
         t.into_data(TraceMeta {
             ident: "tpch/mglru trial \"0\"".to_owned(),
@@ -424,9 +449,14 @@ mod tests {
     fn jsonl_lines_parse_and_carry_identity() {
         let jsonl = demo_data().to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
-        assert_eq!(lines.len(), 1 + 1 + 5 + 1);
+        // meta + (sample, workingset, lru_gen) per boundary + events + end.
+        assert_eq!(lines.len(), 1 + 3 + 5 + 1);
         let meta = parse_json(lines[0]).expect("meta parses");
         assert_eq!(meta.get("type").and_then(|v| v.as_str()), Some("meta"));
+        assert_eq!(
+            meta.get("schema_version"),
+            Some(&crate::json::JsonValue::Num("2".to_owned()))
+        );
         assert_eq!(
             meta.get("content_hash").and_then(|v| v.as_str()),
             Some("00abcdef01234567")
@@ -438,6 +468,13 @@ mod tests {
         for line in &lines {
             parse_json(line).expect("every line is valid json");
         }
+        // Each sample boundary carries its workingset and lru_gen records.
+        let ws = parse_json(lines[2]).expect("workingset parses");
+        assert_eq!(ws.get("type").and_then(|v| v.as_str()), Some("workingset"));
+        let lg = parse_json(lines[3]).expect("lru_gen parses");
+        assert_eq!(lg.get("type").and_then(|v| v.as_str()), Some("lru_gen"));
+        let dump = lg.get("dump").and_then(|v| v.as_str()).expect("dump str");
+        assert!(dump.contains("min_seq 2"), "escaped dump survives: {dump}");
         let end = parse_json(lines[lines.len() - 1]).expect("end parses");
         assert_eq!(end.get("type").and_then(|v| v.as_str()), Some("end"));
     }

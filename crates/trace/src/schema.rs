@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! # comment
+//! version 2           — the meta line's schema_version must equal this
 //! first meta          — the first line must be a record of this name
 //! last end            — the last line must be a record of this name
 //! record meta         — begin a record block, matched on the "type" field
@@ -30,6 +31,10 @@ pub struct RecordSpec {
 /// A parsed schema.
 #[derive(Clone, Debug)]
 pub struct Schema {
+    /// Expected `schema_version` on the first record, if constrained.
+    /// Makes a record-vocabulary change a loud failure instead of lines
+    /// silently skipping validation as "unknown extra fields".
+    pub version: Option<u64>,
     /// Record the first line must be, if constrained.
     pub first: Option<String>,
     /// Record the last line must be, if constrained.
@@ -44,6 +49,7 @@ impl Schema {
     /// Parses the schema text. Errors carry the offending line number.
     pub fn parse(text: &str) -> Result<Schema, String> {
         let mut schema = Schema {
+            version: None,
             first: None,
             last: None,
             records: Vec::new(),
@@ -59,6 +65,14 @@ impl Schema {
                 return Err(format!("schema line {lineno}: expected directive and argument"));
             };
             match directive {
+                "version" => match arg.parse::<u64>() {
+                    Ok(v) => schema.version = Some(v),
+                    Err(_) => {
+                        return Err(format!(
+                            "schema line {lineno}: version needs an integer, got '{arg}'"
+                        ));
+                    }
+                },
                 "first" => schema.first = Some(arg.to_owned()),
                 "last" => schema.last = Some(arg.to_owned()),
                 "record" => schema.records.push(RecordSpec {
@@ -119,6 +133,20 @@ pub fn validate_jsonl(schema: &Schema, jsonl: &str) -> Vec<String> {
             continue;
         };
         types.push(ty.to_owned());
+        if idx == 0 {
+            if let Some(expect) = schema.version {
+                let found = value.get("schema_version").and_then(|v| match v {
+                    JsonValue::Num(n) => n.parse::<u64>().ok(),
+                    _ => None,
+                });
+                if found != Some(expect) {
+                    errors.push(format!(
+                        "line 1: schema_version must be {expect} (found {})",
+                        found.map_or("none".to_owned(), |v| v.to_string())
+                    ));
+                }
+            }
+        }
         let Some(rec) = schema.record(ty) else {
             errors.push(format!("line {lineno}: unknown record type '{ty}'"));
             continue;
@@ -205,14 +233,47 @@ require samples num
         assert!(Schema::parse("require x num\n").is_err());
         assert!(Schema::parse("record a\nrequire x maybe\n").is_err());
         assert!(Schema::parse("frobnicate y\n").is_err());
+        assert!(Schema::parse("version two\n").is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let versioned = format!("version 2\n{DEMO}");
+        let schema = Schema::parse(&versioned).expect("schema parses");
+        let right = concat!(
+            "{\"type\":\"meta\",\"ident\":\"x\",\"seed\":3,\"schema_version\":2}\n",
+            "{\"type\":\"end\",\"samples\":0}\n",
+        );
+        assert_eq!(validate_jsonl(&schema, right), Vec::<String>::new());
+        let stale = concat!(
+            "{\"type\":\"meta\",\"ident\":\"x\",\"seed\":3,\"schema_version\":1}\n",
+            "{\"type\":\"end\",\"samples\":0}\n",
+        );
+        let errors = validate_jsonl(&schema, stale);
+        assert!(
+            errors.iter().any(|e| e.contains("schema_version must be 2 (found 1)")),
+            "{errors:?}"
+        );
+        let missing = concat!(
+            "{\"type\":\"meta\",\"ident\":\"x\",\"seed\":3}\n",
+            "{\"type\":\"end\",\"samples\":0}\n",
+        );
+        let errors = validate_jsonl(&schema, missing);
+        assert!(
+            errors.iter().any(|e| e.contains("schema_version must be 2 (found none)")),
+            "{errors:?}"
+        );
     }
 
     #[test]
     fn builtin_schema_parses() {
         let schema = Schema::parse(BUILTIN_SCHEMA).expect("builtin schema parses");
+        assert_eq!(schema.version, Some(2));
         assert_eq!(schema.first.as_deref(), Some("meta"));
         assert_eq!(schema.last.as_deref(), Some("end"));
         assert!(schema.record("sample").is_some());
         assert!(schema.record("event").is_some());
+        assert!(schema.record("workingset").is_some());
+        assert!(schema.record("lru_gen").is_some());
     }
 }

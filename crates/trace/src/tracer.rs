@@ -82,6 +82,15 @@ pub struct Sample {
     pub gens: Vec<(u64, u64)>,
     /// Per-core occupancy, indexed by core id.
     pub cores: Vec<CoreOcc>,
+    /// Cumulative working-set refaults (shadow-entry hits).
+    pub ws_refault: u64,
+    /// Cumulative refaults within one memory-capacity of evictions.
+    pub ws_activate: u64,
+    /// Cumulative refaults that restored a kept clean swap-cache copy.
+    pub ws_restore: u64,
+    /// `Policy::introspect` dump at this boundary (`lru_gen` debugfs
+    /// analog); multi-line, integers only.
+    pub lru_gen: String,
 }
 
 /// Identity of the traced trial. Mirrors the sweep executor's cell cache:
@@ -242,6 +251,10 @@ mod tests {
             writeback_frames: 0,
             gens: Vec::new(),
             cores: Vec::new(),
+            ws_refault: 0,
+            ws_activate: 0,
+            ws_restore: 0,
+            lru_gen: String::new(),
         }
     }
 
